@@ -1,0 +1,42 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every bench writes its regenerated table/figure to
+``benchmarks/results/<name>.txt`` via the ``record`` fixture; a terminal
+summary hook replays them after the pytest-benchmark timing table, so
+``pytest benchmarks/ --benchmark-only`` shows the paper-shaped outputs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+_session_outputs: list[Path] = []
+
+
+@pytest.fixture()
+def record():
+    """Save a named table/figure and register it for the summary."""
+
+    def _record(name: str, text: str) -> str:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text.rstrip() + "\n")
+        _session_outputs.append(path)
+        print(f"\n[{name}]\n{text}")
+        return text
+
+    return _record
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _session_outputs:
+        return
+    terminalreporter.write_sep("=", "reproduced tables and figures")
+    for path in _session_outputs:
+        terminalreporter.write_line("")
+        terminalreporter.write_sep("-", path.stem)
+        terminalreporter.write_line(path.read_text().rstrip())

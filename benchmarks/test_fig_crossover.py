@@ -1,0 +1,76 @@
+"""Crossover analysis: where |S_i||S_j| log log n meets O(n^2).
+
+The paper's construction wins when channel sets are small relative to the
+universe ("near-quadratic gain ... when channel subsets have constant
+size"); as k grows toward n, its k^2-ish guarantee envelope must cross the
+baselines' n^2 envelopes.  This bench sweeps k at fixed n and reports the
+guarantee envelopes plus the crossover point — the third shape property
+("where crossovers fall") Table 1 implies.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.analysis import format_table
+from repro.sim.workloads import single_overlap
+
+N = 32
+KS = (2, 3, 4, 6, 8, 12, 16)
+
+
+@pytest.fixture(scope="module")
+def envelopes() -> dict[int, dict[str, int]]:
+    result: dict[int, dict[str, int]] = {}
+    for k in KS:
+        instance = single_overlap(N, k, k, seed=0)
+        row = {}
+        for algorithm in ("paper", "crseq", "drds"):
+            sched = repro.build_schedule(instance.sets[0], N, algorithm=algorithm)
+            row[algorithm] = sched.period
+        result[k] = row
+    return result
+
+
+def test_crossover_table(benchmark, envelopes, record):
+    benchmark.pedantic(
+        lambda: repro.build_schedule(list(range(8)), N).period,
+        rounds=1,
+        iterations=1,
+    )
+    rows = []
+    crossover = None
+    for k in KS:
+        paper = envelopes[k]["paper"]
+        crseq = envelopes[k]["crseq"]
+        rows.append(
+            [
+                k,
+                paper,
+                crseq,
+                envelopes[k]["drds"],
+                "paper" if paper < crseq else "crseq",
+            ]
+        )
+        if crossover is None and paper >= crseq:
+            crossover = k
+    table = format_table(
+        ["k=|S|", "paper envelope", "crseq envelope", "drds envelope", "winner"],
+        rows,
+    )
+    record(
+        "fig_crossover",
+        f"guarantee envelopes vs set size at n={N}\n{table}\n\n"
+        f"crossover at k = {crossover} "
+        "(paper wins below, O(n^2) baselines above)",
+    )
+
+    # Shape assertions: paper wins at small k, loses by large k; the
+    # paper envelope grows ~quadratically in k while baselines are flat.
+    assert envelopes[KS[0]]["paper"] < envelopes[KS[0]]["crseq"]
+    assert crossover is not None, "a crossover must exist within the sweep"
+    assert envelopes[KS[-1]]["paper"] > envelopes[KS[-1]]["crseq"]
+    small, large = envelopes[2]["paper"], envelopes[16]["paper"]
+    assert large / small > 10, "paper envelope must grow ~k^2"
+    assert envelopes[2]["crseq"] == envelopes[16]["crseq"]

@@ -1,0 +1,97 @@
+"""Extension experiment: identification overhead of chirp-and-listen.
+
+The paper treats co-presence as rendezvous and waves at mutual
+identification ("chirp and listen", Section 1.3).  This bench quantifies
+the wave: per-group-size mutual-identification delay once agents share a
+channel, and the end-to-end overhead on top of the paper's schedules.
+"""
+
+from __future__ import annotations
+
+import statistics
+
+from repro.analysis import format_table
+from repro.core.schedule import ConstantSchedule
+from repro.sim.agent import Agent
+from repro.sim.handshake import ChirpAndListen
+
+GROUP_SIZES = (2, 3, 4, 6, 8)
+
+
+def test_identification_delay_vs_group_size(benchmark, record):
+    def measure():
+        rows = []
+        for g in GROUP_SIZES:
+            delays = []
+            for seed in range(6):
+                agents = [
+                    Agent(f"node{i}", ConstantSchedule(1)) for i in range(g)
+                ]
+                result = ChirpAndListen(agents, seed=seed).run(30_000)
+                pair_delays = [
+                    result.mutual_identification_time(f"node{i}", f"node{j}")
+                    for i in range(g)
+                    for j in range(i + 1, g)
+                ]
+                assert all(d is not None for d in pair_delays)
+                delays.append(max(pair_delays))
+            theory = 2**g / g  # per-slot sole-chirp probability is g/2^g
+            rows.append(
+                [
+                    g,
+                    f"{statistics.mean(delays):.0f}",
+                    max(delays),
+                    f"{theory:.0f}",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    record(
+        "handshake_group_size",
+        "chirp-and-listen: slots until ALL pairs mutually identified, by "
+        "group size\n"
+        + format_table(
+            ["group", "mean (6 seeds)", "max", "~1/P(sole chirp)"], rows
+        ),
+    )
+    # Collisions bite: the 8-crowd is much slower than the pair.
+    mean_pair = float(rows[0][1])
+    mean_crowd = float(rows[-1][1])
+    assert mean_crowd > 3 * mean_pair
+
+
+def test_end_to_end_identification_overhead(benchmark, record):
+    """Theorem 3 schedules + handshake: overhead beyond first co-presence."""
+    import repro
+    from repro.sim import Network
+
+    def measure():
+        n = 16
+        sets = [{1, 5}, {5, 9}, {1, 9}, {9, 13}]
+        agents = [
+            Agent(f"radio{i}", repro.build_schedule(s, n), wake_time=3 * i)
+            for i, s in enumerate(sets)
+        ]
+        plain = Network(agents).run(60_000)
+        shake = ChirpAndListen(agents, seed=4).run(120_000)
+        rows = []
+        for pair, event in sorted(plain.events.items()):
+            mutual = shake.mutual_identification_time(*pair)
+            assert mutual is not None
+            rows.append(
+                [f"{pair[0]}-{pair[1]}", event.time, mutual, mutual - event.time]
+            )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    record(
+        "handshake_overhead",
+        "end-to-end: co-presence vs mutual identification "
+        "(paper schedules, 4 radios)\n"
+        + format_table(
+            ["pair", "first co-presence", "mutual id", "overhead"], rows
+        ),
+    )
+    overheads = [row[3] for row in rows]
+    assert all(o >= 0 for o in overheads)

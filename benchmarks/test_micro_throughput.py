@@ -1,0 +1,73 @@
+"""Micro-benchmarks: construction and evaluation throughput.
+
+Not a paper table — engineering numbers a downstream user cares about:
+how fast schedules are built and evaluated, and what the verification
+engine sustains.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.baselines.drds import build_global_sequence
+from repro.core.epoch import EpochSchedule
+from repro.core.pairwise import async_pair_string, pair_schedule_async
+from repro.core.ramsey import color_bits, edge_color
+from repro.core.verification import ttr_for_shift
+
+
+def test_build_epoch_schedule(benchmark):
+    channels = list(range(0, 160, 10))  # k = 16
+    benchmark(lambda: EpochSchedule(channels, 1024))
+
+
+def test_build_size2_string(benchmark):
+    n = 1 << 20
+    bits = color_bits(edge_color(1234, 99999, n), n)
+    benchmark(lambda: async_pair_string(bits))
+
+
+def test_channel_at_throughput(benchmark):
+    schedule = EpochSchedule([3, 17, 40, 99], 128)
+
+    def evaluate() -> int:
+        total = 0
+        for t in range(2000):
+            total += schedule.channel_at(t)
+        return total
+
+    benchmark(evaluate)
+
+
+def test_materialize_throughput(benchmark):
+    schedule = EpochSchedule([3, 17, 40, 99], 128)
+    benchmark(lambda: schedule.materialize(0, 100_000))
+
+
+def test_verification_scan(benchmark):
+    n = 64
+    a = pair_schedule_async(5, 40, n)
+    b = pair_schedule_async(40, 63, n)
+    benchmark(lambda: ttr_for_shift(a, b, 17, 10_000))
+
+
+def test_drds_global_build(benchmark):
+    def build():
+        build_global_sequence.cache_clear()
+        return build_global_sequence(8)
+
+    sequence = benchmark.pedantic(build, rounds=3, iterations=1)
+    assert isinstance(sequence, np.ndarray)
+
+
+def test_simulator_network_run(benchmark):
+    from repro.sim import Agent, Network
+
+    n = 32
+    sets = [{1, 9, 17}, {9, 25}, {17, 25, 31}, {1, 31}]
+    agents = [
+        Agent(f"a{i}", repro.build_schedule(s, n), wake_time=7 * i)
+        for i, s in enumerate(sets)
+    ]
+    benchmark(lambda: Network(agents).run(20_000))

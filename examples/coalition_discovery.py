@@ -1,0 +1,103 @@
+"""Coalition scenario: small subsets of a large spectrum pool.
+
+The paper's motivating deployment (Section 1.3): a large hyperspace of
+channels where each coalition member operates in a small band that
+overlaps its allies' bands.  With |S| << n the paper's
+O(|S_i||S_j| log log n) schedule beats the O(n^2)/O(n^3) global-sequence
+baselines by orders of magnitude.
+
+This example builds a multi-band coalition, runs full-network discovery
+under the paper's algorithm and under Jump-Stay, and reports how long
+each needs for every overlapping pair to meet.
+
+Run:  python examples/coalition_discovery.py
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.analysis import format_table
+from repro.sim import Agent, Network, coalition_bands, summarize_ttrs
+
+
+def discover(instance, algorithm: str, horizon: int):
+    agents = [
+        Agent(
+            f"{algorithm}-{i}",
+            repro.build_schedule(channels, instance.n, algorithm=algorithm),
+            wake_time=(37 * i) % 400,
+        )
+        for i, channels in enumerate(instance.sets)
+    ]
+    return Network(agents).run(horizon)
+
+
+def main() -> None:
+    n = 256  # a large pooled hyperspace
+    instance = coalition_bands(
+        n, band_width=10, agents_per_band=3, num_bands=5, overlap=3, seed=7
+    )
+    sizes = sorted(len(s) for s in instance.sets)
+    print(f"universe n={n}, {instance.num_agents} agents, "
+          f"set sizes {sizes[0]}..{sizes[-1]}, "
+          f"{len(instance.overlapping_pairs())} overlapping pairs\n")
+
+    rows = []
+    for algorithm, horizon in (("paper", 400_000), ("jump-stay", 4_000_000)):
+        result = discover(instance, algorithm, horizon)
+        ttrs = list(result.ttrs().values())
+        stats = summarize_ttrs(ttrs) if ttrs else None
+        rows.append(
+            [
+                algorithm,
+                "yes" if result.all_discovered() else
+                f"no ({len(result.unmet_pairs())} pairs missing)",
+                result.discovery_time() or "-",
+                stats.mean if stats else "-",
+                stats.maximum if stats else "-",
+            ]
+        )
+    print(
+        format_table(
+            ["algorithm", "all pairs met", "network discovery slot",
+             "mean TTR", "max TTR"],
+            rows,
+        )
+    )
+
+    # Averages hide the story: the paper's contribution is the worst-case
+    # guarantee.  Probe one cross-band pair over many relative wake-up
+    # shifts and report the worst TTR each algorithm exhibits.
+    from repro.core.verification import ttr_for_shift
+
+    i, j = next(
+        (i, j) for i, j in instance.overlapping_pairs() if i // 3 != j // 3
+    )
+    print(f"\nworst-case probe: agents {i} and {j} "
+          f"({sorted(instance.sets[i])} vs {sorted(instance.sets[j])})")
+    rows = []
+    horizon = 200_000
+    for algorithm in ("paper", "jump-stay"):
+        a = repro.build_schedule(instance.sets[i], n, algorithm=algorithm)
+        b = repro.build_schedule(instance.sets[j], n, algorithm=algorithm)
+        worst: object = 0
+        for shift in range(0, 30_000, 997):
+            ttr = ttr_for_shift(a, b, shift, horizon)
+            if ttr is None:
+                # Jump-Stay's guarantee only kicks in within its cubic
+                # ~50M-slot period at n=256 — a miss here IS the story.
+                worst = f">= {horizon}"
+                break
+            worst = max(worst, ttr)  # type: ignore[call-overload]
+        rows.append([algorithm, worst, f"{a.period:,}"])
+    print(format_table(
+        ["algorithm", "worst TTR over sampled shifts", "guarantee envelope"],
+        rows,
+    ))
+    print("\nWith |S| ~ 5 and n = 256 the paper's schedule guarantees"
+          " ~|S_i||S_j| loglog n slots, while Jump-Stay's guarantee degrades"
+          " with the O(n^3) global period — the coalition-setting gap.")
+
+
+if __name__ == "__main__":
+    main()

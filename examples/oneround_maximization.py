@@ -1,0 +1,80 @@
+"""One-round rendezvous maximization (paper Appendix).
+
+When there is only a single slot, guaranteed pairwise rendezvous is
+impossible — instead we maximize how many agent pairs meet.  For size-two
+channel sets, agents are edges of a graph and the problem becomes an
+orientation problem: point each edge at a channel, count pairs of edges
+pointing at their shared vertex.
+
+This example compares, on random graphs: the exact optimum (brute force),
+the 0.25-expectation random orientation, and the GW-style SDP rounding
+with its 0.439 guarantee.
+
+Run:  python examples/oneround_maximization.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.analysis import format_table
+from repro.oneround import (
+    OneRoundInstance,
+    best_of_random,
+    brute_force_optimum,
+    count_in_pairs,
+    random_orientation,
+    sdp_orient,
+)
+
+
+def random_graph(num_vertices: int, num_edges: int, seed: int) -> OneRoundInstance:
+    rng = random.Random(seed)
+    edges = set()
+    while len(edges) < num_edges:
+        a, b = rng.sample(range(num_vertices), 2)
+        edges.add((min(a, b), max(a, b)))
+    return OneRoundInstance(sorted(edges))
+
+
+def main() -> None:
+    rows = []
+    for seed in range(5):
+        inst = random_graph(10, 16, seed)
+        optimum, _ = brute_force_optimum(inst)
+        single_random = count_in_pairs(inst, random_orientation(inst, seed=seed))
+        best_random, _ = best_of_random(inst, trials=32, seed=seed)
+        sdp_value, _ = sdp_orient(inst, trials=32, seed=seed)
+        rows.append(
+            [
+                f"G{seed} (10v/16e)",
+                inst.incident_pair_count(),
+                optimum,
+                single_random,
+                best_random,
+                sdp_value,
+                f"{sdp_value / optimum:.2f}" if optimum else "-",
+            ]
+        )
+    print(
+        format_table(
+            [
+                "instance",
+                "incident pairs",
+                "optimum",
+                "1 random",
+                "best-of-32 random",
+                "SDP",
+                "SDP/opt",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nGuarantees: random achieves 1/4 of incident pairs in expectation;"
+        "\nthe SDP guarantees 0.439 x optimum (and in practice sits near 1.0)."
+    )
+
+
+if __name__ == "__main__":
+    main()

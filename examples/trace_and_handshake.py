@@ -1,0 +1,69 @@
+"""Trace visualization and chirp-and-listen identification.
+
+Renders the slot-by-slot channel-time diagram of three radios running
+the paper's schedules — rendezvous slots show as ``*`` — then runs the
+chirp-and-listen layer (the paper's Section 1.3 remark) to show how
+co-presence turns into *mutual identification*, including the collision
+penalty when several radios pile onto one channel.
+
+Run:  python examples/trace_and_handshake.py
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.analysis import format_table
+from repro.sim import Agent, ChirpAndListen, Network, render_trace
+
+
+def main() -> None:
+    n = 16
+    sets = [{3, 7}, {7, 12}, {3, 12}]
+    agents = [
+        Agent(name, repro.build_schedule(channels, n), wake_time=wake)
+        for name, channels, wake in zip(
+            ("alice", "bob", "carol"), sets, (0, 2, 5)
+        )
+    ]
+
+    print("channel-time trace (first 72 slots):\n")
+    print(render_trace(agents, 0, 72))
+
+    result = Network(agents).run(50_000)
+    print("\nfirst co-presence per pair:")
+    rows = [
+        [f"{p[0]}-{p[1]}", e.time, e.channel]
+        for p, e in sorted(result.events.items())
+    ]
+    print(format_table(["pair", "slot", "channel"], rows))
+
+    handshake = ChirpAndListen(agents, seed=7).run(100_000)
+    print("\nchirp-and-listen mutual identification:")
+    rows = []
+    for pair, event in sorted(result.events.items()):
+        mutual = handshake.mutual_identification_time(*pair)
+        rows.append(
+            [f"{pair[0]}-{pair[1]}", event.time, mutual,
+             mutual - event.time if mutual is not None else "-"]
+        )
+    print(format_table(
+        ["pair", "co-presence", "mutual id", "identification overhead"], rows
+    ))
+
+    # The collision effect: a crowd on one channel identifies slower.
+    crowd = [
+        Agent(f"node{i}", repro.build_schedule({5}, n)) for i in range(6)
+    ]
+    crowd_result = ChirpAndListen(crowd, seed=7).run(20_000)
+    times = [
+        crowd_result.mutual_identification_time(f"node{i}", f"node{j}")
+        for i in range(6)
+        for j in range(i + 1, 6)
+    ]
+    print(f"\n6 radios parked on one channel: mutual identification took "
+          f"{min(times)}..{max(times)} slots (chirp collisions); a lone "
+          "pair needs only a handful.")
+
+
+if __name__ == "__main__":
+    main()

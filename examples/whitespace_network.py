@@ -1,0 +1,63 @@
+"""TV-whitespace network: asymmetric sensed availability.
+
+Incumbent transmitters occupy part of the spectrum; every secondary user
+senses the free channels with local noise, so no two radios agree exactly
+on what is available — the *asymmetric* model the paper is built for.
+We run full-network discovery with the paper's schedules, then show the
+symmetric O(1) wrapper (Section 3.2) on a cluster of radios that happen
+to sense identical sets.
+
+Run:  python examples/whitespace_network.py
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.analysis import format_table
+from repro.sim import Agent, Network, summarize_ttrs, whitespace
+
+
+def main() -> None:
+    n = 64
+    instance = whitespace(
+        n, num_agents=8, incumbent_load=0.5, sensing_noise=0.15, seed=21
+    )
+    print(f"universe n={n}: {instance.metadata['free_channels']} channels "
+          f"clear of incumbents")
+    rows = [
+        [f"radio{i}", len(s), " ".join(str(c) for c in sorted(s)[:8]) + " ..."]
+        for i, s in enumerate(instance.sets)
+    ]
+    print(format_table(["agent", "|S|", "sensed-free channels"], rows))
+
+    agents = [
+        Agent(f"radio{i}", repro.build_schedule(s, n), wake_time=11 * i)
+        for i, s in enumerate(instance.sets)
+    ]
+    result = Network(agents).run(horizon=300_000)
+    stats = summarize_ttrs(result.ttrs().values())
+    print(f"\nasymmetric discovery: all pairs met = {result.all_discovered()}")
+    print(f"TTR mean {stats.mean:.0f}, median {stats.median:.0f}, "
+          f"p95 {stats.p95:.0f}, max {stats.maximum}")
+
+    # --- the symmetric special case --------------------------------------
+    # A cluster with identical sensed sets uses the Section 3.2 wrapper:
+    # constant-time mutual discovery regardless of wake offsets.
+    shared = instance.sets[0]
+    cluster = [
+        Agent(
+            f"sym{i}",
+            repro.build_schedule(shared, n, algorithm="paper-symmetric"),
+            wake_time=5 * i + 3,
+        )
+        for i in range(4)
+    ]
+    sym_result = Network(cluster).run(horizon=2_000)
+    sym_stats = summarize_ttrs(sym_result.ttrs().values())
+    print(f"\nsymmetric cluster (|S|={len(shared)}, 4 radios, staggered "
+          f"wake-ups): max TTR = {sym_stats.maximum} slots "
+          "(paper: <= 12, independent of n and |S|)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The offline build environment lacks the ``wheel`` package, so editable
+installs must go through ``setup.py develop``; all real metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,13 @@
+"""Analysis utilities: ASCII figures and Table-1 formatting."""
+
+from repro.analysis.ascii_plots import format_table, series_plot, walk_plot
+from repro.analysis.tables import PAPER_CLAIMS, scaling_exponent, table1
+
+__all__ = [
+    "walk_plot",
+    "series_plot",
+    "format_table",
+    "PAPER_CLAIMS",
+    "table1",
+    "scaling_exponent",
+]

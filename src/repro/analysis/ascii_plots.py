@@ -1,0 +1,79 @@
+"""ASCII rendering of walks and series (regenerates Figures 1-3).
+
+The paper's figures are diagrams of string walks ``G_z`` (northeast step
+per 1, southeast per 0).  :func:`walk_plot` reproduces them as text
+mountain plots; :func:`series_plot` renders scaling curves for the
+benchmark output; :func:`format_table` aligns result tables.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.bitstrings import walk_heights
+
+__all__ = ["walk_plot", "series_plot", "format_table"]
+
+
+def walk_plot(z: str, title: str | None = None) -> str:
+    """Mountain plot of the walk of ``z`` (cf. paper Figures 1-3).
+
+    A ``1`` renders as ``/`` climbing one level, a ``0`` as ``\\``
+    descending; the zero axis is marked with ``-`` on empty cells.
+    """
+    if not z:
+        return (title + "\n" if title else "") + "(empty string)"
+    heights = walk_heights(z)
+    top = max(heights)
+    bottom = min(heights)
+    # Row r displays the height band [level, level + 1) for level from
+    # top-1 down to bottom.
+    rows = []
+    for level in range(top - 1, bottom - 1, -1):
+        cells = []
+        for i, bit in enumerate(z):
+            lo = min(heights[i], heights[i + 1])
+            if lo == level:
+                cells.append("/" if bit == "1" else "\\")
+            elif level == 0 and lo != 0:
+                cells.append("-")
+            else:
+                cells.append(" ")
+        rows.append("".join(cells).rstrip() or "-" * len(z))
+    body = "\n".join(rows)
+    header = f"{title}\n" if title else ""
+    return f"{header}{z}\n{body}"
+
+
+def series_plot(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    width: int = 60,
+    height: int = 16,
+    label: str = "",
+) -> str:
+    """Scatter an (x, y) series into a text grid (linear axes)."""
+    if len(xs) != len(ys) or not xs:
+        raise ValueError("xs and ys must be nonempty and equally long")
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        col = int((x - x_lo) / x_span * (width - 1))
+        row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+        grid[row][col] = "*"
+    lines = ["".join(row).rstrip() for row in grid]
+    header = f"{label}  [y: {y_lo:g}..{y_hi:g}]  [x: {x_lo:g}..{x_hi:g}]"
+    return header + "\n" + "\n".join(lines)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Fixed-width text table with a header rule."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[col]) for row in cells) for col in range(len(headers))]
+    def render(row: list[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(row, widths)).rstrip()
+    rule = "  ".join("-" * width for width in widths)
+    return "\n".join([render(cells[0]), rule] + [render(row) for row in cells[1:]])

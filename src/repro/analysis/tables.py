@@ -1,0 +1,72 @@
+"""Table 1 regeneration helpers.
+
+Combines the paper's *claimed* asymptotic bounds with this
+reproduction's *measured* worst-case rendezvous times into the same
+comparison the paper presents.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.analysis.ascii_plots import format_table
+
+__all__ = ["PAPER_CLAIMS", "table1", "scaling_exponent"]
+
+#: Asymptotic bounds as printed in the paper's Table 1 (plus baselines'
+#: randomized reference from Section 1.2).
+PAPER_CLAIMS: dict[str, dict[str, str]] = {
+    "crseq": {"asymmetric": "O(n^2)", "symmetric": "O(n^2)", "source": "Shin-Yang-Kim"},
+    "jump-stay": {"asymmetric": "O(n^3)", "symmetric": "O(n)", "source": "Lin-Liu-Chu-Leung"},
+    "drds": {"asymmetric": "O(n^2)", "symmetric": "O(n)", "source": "Gu-Hua-Wang-Lau"},
+    "paper": {
+        "asymmetric": "O(|Si||Sj| loglog n)",
+        "symmetric": "O(1) (via 3.2)",
+        "source": "Chen-Russell-Samanta-Sundaram",
+    },
+    "random": {
+        "asymmetric": "O(|Si||Sj| log n) whp",
+        "symmetric": "O(k^2 log n) whp",
+        "source": "folklore",
+    },
+}
+
+
+def table1(
+    measured: Mapping[str, Mapping[int, int]],
+    column: str,
+    ns: Sequence[int],
+) -> str:
+    """Render a Table-1-shaped comparison.
+
+    ``measured[algorithm][n]`` is the measured worst TTR; ``column`` is
+    ``"asymmetric"`` or ``"symmetric"`` and selects the claimed bound.
+    """
+    headers = ["algorithm", "paper bound"] + [f"n={n}" for n in ns]
+    rows = []
+    for algorithm, by_n in measured.items():
+        claim = PAPER_CLAIMS.get(algorithm, {}).get(column, "?")
+        rows.append(
+            [algorithm, claim] + [by_n.get(n, "-") for n in ns]
+        )
+    return format_table(headers, rows)
+
+
+def scaling_exponent(ns: Sequence[int], values: Sequence[float]) -> float:
+    """Least-squares slope of log(value) against log(n).
+
+    The shape check behind Table 1: measured exponents should sit near 2
+    for the O(n^2) baselines, near 3 for Jump-Stay, and near 0 for the
+    paper's construction at fixed set sizes.
+    """
+    import math
+
+    if len(ns) != len(values) or len(ns) < 2:
+        raise ValueError("need at least two (n, value) points")
+    xs = [math.log(n) for n in ns]
+    ys = [math.log(max(v, 1e-9)) for v in values]
+    mean_x = sum(xs) / len(xs)
+    mean_y = sum(ys) / len(ys)
+    num = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    den = sum((x - mean_x) ** 2 for x in xs)
+    return num / den

@@ -1,0 +1,58 @@
+"""Baseline rendezvous algorithms from the paper's Table 1.
+
+========================  =======================  =================
+Algorithm                 Asymmetric guarantee     Symmetric
+========================  =======================  =================
+``random``                ``O(k l log n)`` (whp)   ``O(k^2 log n)``
+``crseq`` (Shin et al.)   ``O(n^2)``               ``O(n^2)``
+``jump-stay`` (Lin et     ``O(n^3)``               ``O(n)``
+al.)
+``drds`` (after Gu et     ``O(n^2)``               measured
+al.)
+========================  =======================  =================
+
+The paper's construction (``repro.core``) achieves
+``O(|S_i||S_j| log log n)`` asymmetric and ``O(1)`` symmetric.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.baselines.crseq import CRSEQSchedule
+from repro.baselines.drds import DRDSSchedule
+from repro.baselines.jump_stay import JumpStaySchedule
+from repro.baselines.random_schedule import RandomSchedule
+from repro.core.schedule import Schedule
+
+__all__ = [
+    "CRSEQSchedule",
+    "JumpStaySchedule",
+    "DRDSSchedule",
+    "RandomSchedule",
+    "build_baseline",
+    "BASELINE_NAMES",
+]
+
+BASELINE_NAMES = ("crseq", "jump-stay", "drds", "random")
+
+
+def build_baseline(
+    channels: Iterable[int],
+    n: int,
+    algorithm: str,
+    seed: int = 0,
+) -> Schedule:
+    """Instantiate a baseline schedule by name (see :data:`BASELINE_NAMES`)."""
+    if algorithm == "crseq":
+        return CRSEQSchedule(channels, n)
+    if algorithm == "jump-stay":
+        return JumpStaySchedule(channels, n)
+    if algorithm == "drds":
+        return DRDSSchedule(channels, n)
+    if algorithm == "random":
+        return RandomSchedule(channels, n, seed=seed)
+    raise ValueError(
+        f"unknown algorithm {algorithm!r}; expected one of {BASELINE_NAMES} "
+        "or a 'paper*' variant handled by repro.build_schedule"
+    )

@@ -1,0 +1,64 @@
+"""CRSEQ baseline — Shin, Yang, Kim (IEEE Communications Letters 2010).
+
+The first construction guaranteeing asynchronous blind rendezvous, cited
+in the paper's Table 1 with ``O(n^2)`` rendezvous time for both the
+asymmetric and symmetric cases.
+
+Construction (channels 0-indexed): let ``P`` be the smallest prime with
+``P >= n``.  The global sequence has period ``3 P^2``, divided into ``P``
+subsequences of ``3P`` slots each.  Subsequence ``i`` consists of
+
+* ``2P`` *jump* slots: channel ``(T_i + j) mod P`` for ``j = 0..2P-1``,
+  where ``T_i = i (i+1) / 2`` is the i-th triangular number (the
+  triangular offsets guarantee distinct relative phases under shifts);
+* ``P`` *stay* slots on channel ``i``.
+
+An agent plays the global sequence projected onto its available set:
+channels outside the set map to ``available[c mod k]``.  Rendezvous is
+guaranteed on the slots where both agents natively play a common channel.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.core.primes import smallest_prime_at_least
+from repro.core.schedule import Schedule
+
+__all__ = ["CRSEQSchedule", "crseq_global_channel"]
+
+
+def crseq_global_channel(t: int, prime: int) -> int:
+    """Channel of the *global* CRSEQ sequence at slot ``t`` (in ``[0, P)``)."""
+    if t < 0:
+        raise ValueError(f"slot must be nonnegative, got {t}")
+    period = 3 * prime * prime
+    t %= period
+    subsequence, offset = divmod(t, 3 * prime)
+    if offset < 2 * prime:
+        triangular = subsequence * (subsequence + 1) // 2
+        return (triangular + offset) % prime
+    return subsequence
+
+
+class CRSEQSchedule(Schedule):
+    """CRSEQ projected onto an agent's available channel set."""
+
+    def __init__(self, channels: Iterable[int], n: int):
+        ordered = sorted(set(int(c) for c in channels))
+        if not ordered:
+            raise ValueError("channel set must be nonempty")
+        if ordered[0] < 0 or ordered[-1] >= n:
+            raise ValueError(f"channels {ordered} outside universe [0, {n})")
+        self.n = n
+        self.prime = smallest_prime_at_least(n)
+        self.sorted_channels = tuple(ordered)
+        self.channels = frozenset(ordered)
+        self.period = 3 * self.prime * self.prime
+
+    def channel_at(self, t: int) -> int:
+        c = crseq_global_channel(t, self.prime)
+        if c in self.channels:
+            return c
+        k = len(self.sorted_channels)
+        return self.sorted_channels[c % k]

@@ -1,0 +1,63 @@
+"""Jump-Stay baseline — Lin, Liu, Chu, Leung (INFOCOM 2011).
+
+Cited in the paper's Table 1 with ``O(n^3)`` asymmetric and ``O(n)``
+symmetric rendezvous time.
+
+Construction (channels 0-indexed): let ``P`` be the smallest prime
+``P > n``.  Time is divided into *rounds* of ``3P`` slots: ``2P`` jump
+slots followed by ``P`` stay slots.  Round ``m`` uses
+
+* step ``r = (m mod (P-1)) + 1`` (cycling through ``1..P-1``) and
+* start ``i = (m div (P-1)) mod P``;
+* jump slot ``j`` plays channel ``(i + j*r) mod P``;
+* stay slots play channel ``r``.
+
+Channels ``>= n`` remap to ``c mod n``; unavailable channels project to
+``available[c mod k]``.  The full pattern period is ``3P * P * (P-1)``,
+which is the ``O(n^3)`` in Table 1.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.core.primes import smallest_prime_greater_than
+from repro.core.schedule import Schedule
+
+__all__ = ["JumpStaySchedule", "jump_stay_global_channel"]
+
+
+def jump_stay_global_channel(t: int, prime: int) -> int:
+    """Channel of the global Jump-Stay sequence at slot ``t`` (in ``[0, P)``)."""
+    if t < 0:
+        raise ValueError(f"slot must be nonnegative, got {t}")
+    round_index, offset = divmod(t, 3 * prime)
+    step = (round_index % (prime - 1)) + 1
+    start = (round_index // (prime - 1)) % prime
+    if offset < 2 * prime:
+        return (start + offset * step) % prime
+    return step
+
+
+class JumpStaySchedule(Schedule):
+    """Jump-Stay projected onto an agent's available channel set."""
+
+    def __init__(self, channels: Iterable[int], n: int):
+        ordered = sorted(set(int(c) for c in channels))
+        if not ordered:
+            raise ValueError("channel set must be nonempty")
+        if ordered[0] < 0 or ordered[-1] >= n:
+            raise ValueError(f"channels {ordered} outside universe [0, {n})")
+        self.n = n
+        self.prime = smallest_prime_greater_than(n)
+        self.sorted_channels = tuple(ordered)
+        self.channels = frozenset(ordered)
+        self.period = 3 * self.prime * self.prime * (self.prime - 1)
+
+    def channel_at(self, t: int) -> int:
+        c = jump_stay_global_channel(t % self.period, self.prime)
+        c %= self.n
+        if c in self.channels:
+            return c
+        k = len(self.sorted_channels)
+        return self.sorted_channels[c % k]

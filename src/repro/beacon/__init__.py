@@ -1,0 +1,36 @@
+"""Rendezvous with a one-bit beacon (paper Section 5).
+
+Substrates: a deterministic beacon-bit source, an ε-min-wise permutation
+family via k-wise polynomial hashing, and the Gabber-Galil expander for
+deterministic amplification; protocols: the simple
+``O((s_i + s_j) log n)``-bit scheme and the amplified
+``O(s_i + s_j + log n)``-bit scheme.
+"""
+
+from repro.beacon.expander import MGGExpander
+from repro.beacon.minwise import (
+    DEFAULT_DEGREE,
+    MinwisePermutation,
+    field_prime,
+    permutation_from_word,
+    seed_bits_needed,
+)
+from repro.beacon.protocols import (
+    AmplifiedBeaconProtocol,
+    SimpleBeaconProtocol,
+    beacon_first_meeting,
+)
+from repro.beacon.source import BeaconSource
+
+__all__ = [
+    "BeaconSource",
+    "MinwisePermutation",
+    "permutation_from_word",
+    "field_prime",
+    "seed_bits_needed",
+    "DEFAULT_DEGREE",
+    "MGGExpander",
+    "SimpleBeaconProtocol",
+    "AmplifiedBeaconProtocol",
+    "beacon_first_meeting",
+]

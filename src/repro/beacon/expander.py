@@ -1,0 +1,86 @@
+"""Margulis-Gabber-Galil expander and walks (paper Section 5).
+
+The amplified beacon protocol "walks on an expander" to stretch
+``O(log n)`` seed bits into a long sequence of permutation seeds whose
+hitting behaviour matches independent draws up to constants (the expander
+Chernoff bound).  The paper leaves the graph unspecified; we use the
+explicit degree-8 Gabber-Galil graph on ``Z_m x Z_m``:
+
+    (x, y) ->  (x ± 2y, y), (x ± (2y+1), y), (x, y ± 2x), (x, y ± (2x+1))
+
+which has a proven constant spectral gap for every ``m``.  Each walk step
+consumes 3 beacon bits (choice of one of 8 moves).  The tests estimate
+the gap numerically for small ``m``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["MGGExpander"]
+
+
+class MGGExpander:
+    """Degree-8 Gabber-Galil expander on the torus ``Z_m x Z_m``."""
+
+    DEGREE = 8
+
+    def __init__(self, m: int):
+        if m < 2:
+            raise ValueError(f"side length must be >= 2, got {m}")
+        self.m = m
+        self.num_vertices = m * m
+
+    def vertex(self, x: int, y: int) -> int:
+        return (x % self.m) * self.m + (y % self.m)
+
+    def coordinates(self, v: int) -> tuple[int, int]:
+        if not 0 <= v < self.num_vertices:
+            raise ValueError(f"vertex {v} out of range")
+        return divmod(v, self.m)
+
+    def neighbor(self, v: int, direction: int) -> int:
+        """The ``direction``-th neighbor (``0 <= direction < 8``)."""
+        if not 0 <= direction < self.DEGREE:
+            raise ValueError(f"direction {direction} out of range [0, 8)")
+        x, y = self.coordinates(v)
+        if direction == 0:
+            x += 2 * y
+        elif direction == 1:
+            x -= 2 * y
+        elif direction == 2:
+            x += 2 * y + 1
+        elif direction == 3:
+            x -= 2 * y + 1
+        elif direction == 4:
+            y += 2 * x
+        elif direction == 5:
+            y -= 2 * x
+        elif direction == 6:
+            y += 2 * x + 1
+        else:
+            y -= 2 * x + 1
+        return self.vertex(x, y)
+
+    def walk(self, start: int, directions: list[int]) -> int:
+        """Follow a sequence of directions from ``start``."""
+        v = start
+        for d in directions:
+            v = self.neighbor(v, d)
+        return v
+
+    def adjacency_matrix(self) -> np.ndarray:
+        """Dense (multi-)adjacency matrix — for spectral tests only."""
+        a = np.zeros((self.num_vertices, self.num_vertices))
+        for v in range(self.num_vertices):
+            for d in range(self.DEGREE):
+                a[v, self.neighbor(v, d)] += 1
+        return a
+
+    def second_eigenvalue(self) -> float:
+        """``lambda_2 / d`` of the walk matrix (normalized); < 1 iff
+        the graph is connected and expanding.  O(V^3) — small ``m`` only."""
+        a = self.adjacency_matrix()
+        walk = (a + a.T) / (2 * self.DEGREE)
+        eigenvalues = np.linalg.eigvalsh(walk)
+        return float(np.sort(np.abs(eigenvalues))[-2])

@@ -1,0 +1,56 @@
+"""The common one-bit random beacon (paper Section 5).
+
+The model supplies every agent with the *same* uniformly random bit
+``c_t`` in every slot ``t`` (think GPS-derived randomness).  We simulate
+it with a stateless 64-bit mixer (splitmix64 finalizer): random access to
+``bit(t)`` without storing a tape, deterministic per seed, and identical
+for all agents — exactly the shared-beacon abstraction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["BeaconSource"]
+
+_MASK = (1 << 64) - 1
+
+
+def _splitmix64(x: int) -> int:
+    """Finalizer of splitmix64: a high-quality 64-bit mixing function."""
+    x = (x + 0x9E3779B97F4A7C15) & _MASK
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK
+    return x ^ (x >> 31)
+
+
+class BeaconSource:
+    """Deterministic random-access stream of common beacon bits."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed & _MASK
+
+    def bit(self, t: int) -> int:
+        """The beacon bit broadcast in slot ``t``."""
+        if t < 0:
+            raise ValueError(f"slot must be nonnegative, got {t}")
+        return _splitmix64(self.seed ^ (t * 0xD1342543DE82EF95 & _MASK)) & 1
+
+    def bits(self, start: int, count: int) -> list[int]:
+        """Beacon bits for slots ``start .. start+count-1``."""
+        return [self.bit(t) for t in range(start, start + count)]
+
+    def word(self, start: int, count: int) -> int:
+        """The ``count`` bits starting at ``start`` packed big-endian."""
+        value = 0
+        for t in range(start, start + count):
+            value = (value << 1) | self.bit(t)
+        return value
+
+    def array(self, start: int, count: int) -> np.ndarray:
+        """Bits as a numpy uint8 array (for bulk consumers)."""
+        return np.fromiter(
+            (self.bit(t) for t in range(start, start + count)),
+            dtype=np.uint8,
+            count=count,
+        )

@@ -1,0 +1,178 @@
+"""Command-line interface.
+
+A small operational surface over the library, for a user who wants
+numbers without writing Python:
+
+    python -m repro schedule --channels 3,17,40 --universe 64 --slots 20
+    python -m repro rendezvous --a 3,17,40 --b 17,58 --universe 64
+    python -m repro bound --k 3 --l 4 --universe 64
+    python -m repro simulate --agents 3,17,40/17,58/3,58 --universe 64
+    python -m repro walk --bits 110100
+
+Each subcommand prints plain text; exit code 0 on success, 2 on usage
+errors (argparse convention).
+"""
+
+from __future__ import annotations
+
+import argparse
+from collections.abc import Sequence
+
+import repro
+from repro.analysis import format_table, walk_plot
+from repro.core import bounds
+from repro.core.verification import ttr_for_shift
+from repro.sim import Agent, Network
+
+__all__ = ["main", "build_parser"]
+
+_ALGORITHMS = ("paper", "paper-sync", "paper-symmetric", "crseq", "jump-stay", "drds", "random")
+
+
+def _parse_channels(text: str) -> list[int]:
+    try:
+        channels = [int(part) for part in text.split(",") if part != ""]
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(f"bad channel list {text!r}") from exc
+    if not channels:
+        raise argparse.ArgumentTypeError("channel list is empty")
+    return channels
+
+
+def _parse_agents(text: str) -> list[list[int]]:
+    return [_parse_channels(part) for part in text.split("/")]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Deterministic blind rendezvous (Chen et al., ICDCS 2014)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    schedule = sub.add_parser("schedule", help="print an agent's hopping schedule")
+    schedule.add_argument("--channels", type=_parse_channels, required=True)
+    schedule.add_argument("--universe", type=int, required=True)
+    schedule.add_argument("--algorithm", choices=_ALGORITHMS, default="paper")
+    schedule.add_argument("--slots", type=int, default=32)
+
+    rendezvous = sub.add_parser(
+        "rendezvous", help="when do two agents meet, and what is the bound"
+    )
+    rendezvous.add_argument("--a", type=_parse_channels, required=True)
+    rendezvous.add_argument("--b", type=_parse_channels, required=True)
+    rendezvous.add_argument("--universe", type=int, required=True)
+    rendezvous.add_argument("--algorithm", choices=_ALGORITHMS, default="paper")
+    rendezvous.add_argument("--shift", type=int, default=0)
+    rendezvous.add_argument("--horizon", type=int, default=1_000_000)
+
+    bound = sub.add_parser("bound", help="print the analytic guarantees")
+    bound.add_argument("--k", type=int, required=True)
+    bound.add_argument("--l", type=int, required=True)
+    bound.add_argument("--universe", type=int, required=True)
+
+    simulate = sub.add_parser("simulate", help="multi-agent discovery simulation")
+    simulate.add_argument(
+        "--agents",
+        type=_parse_agents,
+        required=True,
+        help="channel sets separated by '/', e.g. 1,2/2,3/3,4",
+    )
+    simulate.add_argument("--universe", type=int, required=True)
+    simulate.add_argument("--algorithm", choices=_ALGORITHMS, default="paper")
+    simulate.add_argument("--horizon", type=int, default=200_000)
+    simulate.add_argument("--wake-stagger", type=int, default=13)
+
+    walk = sub.add_parser("walk", help="ASCII walk plot of a bit string")
+    walk.add_argument("--bits", required=True)
+
+    return parser
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    sched = repro.build_schedule(args.channels, args.universe, args.algorithm)
+    slots = [sched.channel_at(t) for t in range(args.slots)]
+    print(f"algorithm: {args.algorithm}")
+    print(f"channels:  {sorted(set(args.channels))}")
+    print(f"period:    {sched.period}")
+    print("slots:     " + " ".join(str(c) for c in slots))
+    return 0
+
+
+def _cmd_rendezvous(args: argparse.Namespace) -> int:
+    a = repro.build_schedule(args.a, args.universe, args.algorithm)
+    b = repro.build_schedule(args.b, args.universe, args.algorithm)
+    common = sorted(a.channels & b.channels)
+    print(f"common channels: {common or 'none'}")
+    ttr = ttr_for_shift(a, b, args.shift, args.horizon)
+    if ttr is None:
+        print(f"no rendezvous within {args.horizon} slots")
+        return 1
+    print(f"TTR at shift {args.shift}: {ttr} slots")
+    if args.algorithm == "paper":
+        analytic = bounds.theorem3_async_bound(
+            len(a.channels), len(b.channels), args.universe
+        )
+        print(f"analytic bound: {analytic} slots")
+    return 0
+
+
+def _cmd_bound(args: argparse.Namespace) -> int:
+    k, l, n = args.k, args.l, args.universe
+    rows = [
+        ["paper (Thm 3, async)", bounds.theorem3_async_bound(k, l, n)],
+        ["paper (Thm 3, sync)", bounds.theorem3_sync_bound(k, l, n)],
+        ["paper symmetric (3.2)", bounds.symmetric_wrapper_bound()],
+        ["crseq envelope", bounds.crseq_bound(n)],
+        ["jump-stay envelope", bounds.jump_stay_bound(n)],
+        ["drds envelope", bounds.drds_bound(n)],
+        ["random, expected", f"{bounds.randomized_expected_ttr(k, l):.0f}"],
+    ]
+    print(format_table(["guarantee", "slots"], rows))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    agents = [
+        Agent(
+            f"agent{i}",
+            repro.build_schedule(channels, args.universe, args.algorithm),
+            wake_time=args.wake_stagger * i,
+        )
+        for i, channels in enumerate(args.agents)
+    ]
+    result = Network(agents).run(args.horizon)
+    rows = [
+        [f"{pair[0]}-{pair[1]}", event.time, event.channel, event.ttr]
+        for pair, event in sorted(result.events.items())
+    ]
+    print(format_table(["pair", "slot", "channel", "TTR"], rows))
+    unmet = result.unmet_pairs()
+    if unmet:
+        print(f"\nunmet overlapping pairs: {unmet}")
+        return 1
+    print(f"\nall overlapping pairs met by slot {result.discovery_time()}")
+    return 0
+
+
+def _cmd_walk(args: argparse.Namespace) -> int:
+    print(walk_plot(args.bits))
+    return 0
+
+
+_HANDLERS = {
+    "schedule": _cmd_schedule,
+    "rendezvous": _cmd_rendezvous,
+    "bound": _cmd_bound,
+    "simulate": _cmd_simulate,
+    "walk": _cmd_walk,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,54 @@
+"""Core constructions of the paper (Sections 2-3) and their substrates.
+
+Submodules
+----------
+bitstrings
+    Walk toolkit: balanced / Catalan / t-maximal predicates, rotations.
+knuth
+    Balanced encoding ``K(x)``.
+catalan
+    The maps ``U``, ``M`` and the headline ``R(z)`` of Theorem 1.
+ramsey
+    2-Ramsey edge coloring of the linear poset (Lemma 2).
+pairwise
+    Size-two schedules (Theorem 1), synchronous and asynchronous.
+primes, crt
+    Number-theoretic substrates for Theorem 3.
+epoch
+    The general n-schedule (Theorem 3).
+symmetric
+    The O(1) symmetric-case wrapper (Section 3.2).
+schedule
+    Schedule abstractions shared by all constructions.
+verification
+    Executable rendezvous-time definitions (Section 2).
+"""
+
+from repro.core.epoch import EpochSchedule, rendezvous_bound
+from repro.core.pairwise import (
+    async_period,
+    pair_schedule_async,
+    pair_schedule_sync,
+    sync_period,
+)
+from repro.core.schedule import (
+    ConstantSchedule,
+    CyclicSchedule,
+    FunctionSchedule,
+    Schedule,
+)
+from repro.core.symmetric import SymmetricWrappedSchedule
+
+__all__ = [
+    "EpochSchedule",
+    "rendezvous_bound",
+    "async_period",
+    "sync_period",
+    "pair_schedule_async",
+    "pair_schedule_sync",
+    "Schedule",
+    "CyclicSchedule",
+    "ConstantSchedule",
+    "FunctionSchedule",
+    "SymmetricWrappedSchedule",
+]

@@ -1,0 +1,231 @@
+"""Bit-string walk toolkit (paper Section 3, Figures 1-3).
+
+The size-two construction of the paper manipulates binary strings through
+the "graph" (walk) ``G_z`` of a string ``z``: each ``1`` is a northeast
+step (+1) and each ``0`` a southeast step (-1).  This module implements the
+predicates the paper defines on such walks:
+
+* *balanced*      -- ``wt(z) == |z| / 2``, i.e. the walk returns to zero;
+* *Catalan*       -- balanced and the walk never goes negative;
+* *strictly Catalan* -- balanced and strictly positive on the interior;
+* *t-maximal / t-minimal* -- the walk attains its maximum (minimum) at
+  exactly ``t`` cyclic positions.
+
+Conventions
+-----------
+Strings are plain ``str`` objects over the alphabet ``{'0', '1'}``; they
+are tiny (tens of bits), so readability beats raw speed here.
+
+Walk positions are *cyclic*: the domain of ``G_z`` is ``{0, ..., |z|-1}``,
+identifying position ``|z|`` with position ``0``.  This matches the
+paper's remark that a strictly Catalan string is 1-minimal "and this
+single minimum appears at i = 0" (the endpoint is not double-counted) and
+makes maximality/minimality counts invariant under rotation of balanced
+strings.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ALPHABET",
+    "validate_bits",
+    "weight",
+    "walk_heights",
+    "is_balanced",
+    "is_catalan",
+    "is_strictly_catalan",
+    "maxima_count",
+    "minima_count",
+    "maxima_positions",
+    "minima_positions",
+    "rotate",
+    "complement",
+    "catalan_rotation_index",
+    "encode_int",
+    "decode_int",
+    "log_sharp",
+    "int_bit_width",
+    "even_width",
+]
+
+ALPHABET = frozenset("01")
+
+
+def validate_bits(z: str) -> str:
+    """Return ``z`` unchanged after checking it is a binary string.
+
+    Raises ``ValueError`` on any character outside ``{'0','1'}``.
+    """
+    if not set(z) <= ALPHABET:
+        bad = sorted(set(z) - ALPHABET)
+        raise ValueError(f"not a binary string: unexpected characters {bad!r}")
+    return z
+
+
+def weight(z: str) -> int:
+    """Number of 1s in ``z`` (the paper's ``wt(z)``)."""
+    return z.count("1")
+
+
+def walk_heights(z: str) -> list[int]:
+    """The walk ``G_z`` as a list of ``|z| + 1`` heights.
+
+    ``walk_heights(z)[k]`` equals ``G_z(k) = sum_{i<=k} (2 z_i - 1)``,
+    with ``G_z(0) = 0``.
+    """
+    heights = [0] * (len(z) + 1)
+    h = 0
+    for k, bit in enumerate(z, start=1):
+        h += 1 if bit == "1" else -1
+        heights[k] = h
+    return heights
+
+
+def is_balanced(z: str) -> bool:
+    """True when ``wt(z) == |z|/2`` (the walk ends at height zero)."""
+    return len(z) % 2 == 0 and 2 * weight(z) == len(z)
+
+
+def is_catalan(z: str) -> bool:
+    """True when ``z`` is balanced and its walk never dips below zero."""
+    if not is_balanced(z):
+        return False
+    h = 0
+    for bit in z:
+        h += 1 if bit == "1" else -1
+        if h < 0:
+            return False
+    return True
+
+
+def is_strictly_catalan(z: str) -> bool:
+    """True when ``z`` is balanced and its walk is positive on the interior.
+
+    Equivalently ``G_z(i) > 0`` for all ``0 < i < |z|``; the empty string
+    is vacuously strictly Catalan.
+    """
+    if not is_balanced(z):
+        return False
+    h = 0
+    for k, bit in enumerate(z, start=1):
+        h += 1 if bit == "1" else -1
+        if h <= 0 and k < len(z):
+            return False
+    return True
+
+
+def _cyclic_heights(z: str) -> list[int]:
+    """Heights at cyclic positions ``0..|z|-1`` (endpoint excluded)."""
+    return walk_heights(z)[:-1]
+
+
+def maxima_positions(z: str) -> list[int]:
+    """Cyclic positions where ``G_z`` attains its maximum."""
+    if not z:
+        return []
+    heights = _cyclic_heights(z)
+    top = max(heights)
+    return [i for i, h in enumerate(heights) if h == top]
+
+
+def minima_positions(z: str) -> list[int]:
+    """Cyclic positions where ``G_z`` attains its minimum."""
+    if not z:
+        return []
+    heights = _cyclic_heights(z)
+    bottom = min(heights)
+    return [i for i, h in enumerate(heights) if h == bottom]
+
+
+def maxima_count(z: str) -> int:
+    """``t`` such that ``z`` is t-maximal (cyclic position convention)."""
+    return len(maxima_positions(z))
+
+
+def minima_count(z: str) -> int:
+    """``t`` such that ``z`` is t-minimal (cyclic position convention)."""
+    return len(minima_positions(z))
+
+
+def rotate(z: str, shift: int) -> str:
+    """The paper's cyclic shift ``S^shift z`` (forward by ``shift``).
+
+    ``rotate(z, 1)`` moves the first symbol to the end.  Negative shifts
+    rotate backward; the empty string rotates to itself.
+    """
+    if not z:
+        return z
+    shift %= len(z)
+    return z[shift:] + z[:shift]
+
+
+def complement(z: str) -> str:
+    """Coordinatewise negation (the paper's ``z-bar``)."""
+    flip = {"0": "1", "1": "0"}
+    return "".join(flip[bit] for bit in z)
+
+
+def catalan_rotation_index(z: str) -> int:
+    """Smallest ``c`` such that ``rotate(z, c)`` is Catalan.
+
+    ``z`` must be balanced (cycle lemma: rotating a balanced string so
+    that it starts just after a global minimum of its walk yields a
+    Catalan string).  Returns 0 for the empty string.
+    """
+    if not is_balanced(z):
+        raise ValueError("catalan_rotation_index requires a balanced string")
+    if not z:
+        return 0
+    heights = _cyclic_heights(z)
+    bottom = min(heights)
+    if bottom == 0:
+        # Already Catalan: the walk never goes negative.
+        return 0
+    # Rotating to start at any global-minimum position works; the smallest
+    # such rotation is the first minimum position.
+    return heights.index(bottom)
+
+
+def log_sharp(n: int) -> int:
+    """The paper's ``log# n = ceil(log2 n)`` for ``n >= 1``."""
+    if n < 1:
+        raise ValueError(f"log_sharp requires n >= 1, got {n}")
+    return (n - 1).bit_length()
+
+
+def int_bit_width(max_value: int) -> int:
+    """Bits needed for the canonical encoding of values in ``[0, max_value]``.
+
+    Always at least 1, so even a domain of ``{0}`` gets a real encoding.
+    """
+    if max_value < 0:
+        raise ValueError(f"max_value must be nonnegative, got {max_value}")
+    return max(1, max_value.bit_length())
+
+
+def even_width(width: int) -> int:
+    """Round a bit width up to the next even number (Knuth encoding needs
+    even-length inputs)."""
+    if width < 0:
+        raise ValueError(f"width must be nonnegative, got {width}")
+    return width + (width % 2)
+
+
+def encode_int(value: int, width: int) -> str:
+    """Canonical big-endian binary encoding, zero-padded to ``width`` bits.
+
+    This is the paper's ``x_2`` notation.  Big-endian fixed width gives
+    the property used in Theorem 1's proof: if ``a < b`` then some
+    coordinate holds 0 in ``a_2`` and 1 in ``b_2``.
+    """
+    if value < 0:
+        raise ValueError(f"cannot encode negative value {value}")
+    if value >= (1 << width):
+        raise ValueError(f"value {value} does not fit in {width} bits")
+    return format(value, f"0{width}b") if width > 0 else ""
+
+
+def decode_int(bits: str) -> int:
+    """Inverse of :func:`encode_int` (empty string decodes to 0)."""
+    validate_bits(bits)
+    return int(bits, 2) if bits else 0

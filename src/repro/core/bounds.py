@@ -1,0 +1,131 @@
+"""Closed-form guarantee bounds for every construction in this repo.
+
+One place for the analytic worst-case rendezvous bounds, so tests,
+benches and documentation all quote the same formulas:
+
+===============================  ==========================================
+construction                     asynchronous guarantee (slots)
+===============================  ==========================================
+Theorem 1 (size-two sets)        ``async_period(n)``
+Theorem 3 (general sets)         ``2 L (p_A q_B + 2)`` for the cheapest
+                                 helpful prime pair
+Section 3.2 wrapper, symmetric   ``12``
+Section 3.2 wrapper, general     ``12 x Theorem 3 + 24``
+CRSEQ                            ``3 P^2`` (period; P = min prime >= n)
+Jump-Stay                        ``3 P^2 (P - 1)`` (period; P > n)
+DRDS (ours)                      ``45 n^2 + 8n`` (period)
+randomized (reference)           ``O(k l log n)`` w.h.p. only
+===============================  ==========================================
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.baselines.drds import sequence_period
+from repro.core.pairwise import async_period, sync_period
+from repro.core.primes import (
+    smallest_prime_at_least,
+    smallest_prime_greater_than,
+    two_primes_for_set_size,
+)
+
+__all__ = [
+    "theorem1_async_bound",
+    "theorem1_sync_bound",
+    "theorem3_async_bound",
+    "theorem3_sync_bound",
+    "symmetric_wrapper_bound",
+    "wrapped_pair_bound",
+    "crseq_bound",
+    "jump_stay_bound",
+    "drds_bound",
+    "randomized_expected_ttr",
+    "randomized_whp_bound",
+    "SYMMETRIC_CONSTANT",
+]
+
+#: Worst-case symmetric rendezvous of the Section 3.2 wrapper.
+SYMMETRIC_CONSTANT = 12
+
+
+def theorem1_async_bound(n: int) -> int:
+    """Asynchronous rendezvous bound for two overlapping 2-sets."""
+    return async_period(n)
+
+
+def theorem1_sync_bound(n: int) -> int:
+    """Synchronous rendezvous bound for two overlapping 2-sets."""
+    return sync_period(n)
+
+
+def _helpful_pair_product(k: int, l: int) -> int:
+    """Cheapest ``p * q`` over helpful (distinct) prime pairs."""
+    pa = two_primes_for_set_size(k)
+    pb = two_primes_for_set_size(l)
+    best = None
+    for p in pa:
+        for q in pb:
+            if p != q and (best is None or p * q < best):
+                best = p * q
+    if best is None:  # identical singletons cannot happen: pairs differ
+        raise AssertionError("no helpful prime pair")
+    return best
+
+
+def theorem3_async_bound(k: int, l: int, n: int) -> int:
+    """Asynchronous bound for sets of sizes ``k`` and ``l`` in ``[n]``.
+
+    ``2 L (pq + 2)``: the CRT epoch within ``pq`` epochs, one epoch for
+    the rounding of the offset ``mu`` and one for the partial first
+    epoch; each epoch is ``2 L`` slots (the doubling).
+    """
+    return 2 * async_period(n) * (_helpful_pair_product(k, l) + 2)
+
+
+def theorem3_sync_bound(k: int, l: int, n: int) -> int:
+    """Synchronous variant: single-length epochs, aligned start."""
+    return sync_period(n) * (_helpful_pair_product(k, l) + 2)
+
+
+def symmetric_wrapper_bound() -> int:
+    """Identical sets under the Section 3.2 wrapper: constant."""
+    return SYMMETRIC_CONSTANT
+
+
+def wrapped_pair_bound(k: int, l: int, n: int) -> int:
+    """General pairs after wrapping: 12x the base bound plus slack."""
+    return SYMMETRIC_CONSTANT * theorem3_async_bound(k, l, n) + 2 * SYMMETRIC_CONSTANT
+
+
+def crseq_bound(n: int) -> int:
+    """CRSEQ guarantee envelope: one full period."""
+    p = smallest_prime_at_least(n)
+    return 3 * p * p
+
+
+def jump_stay_bound(n: int) -> int:
+    """Jump-Stay guarantee envelope: one full period."""
+    p = smallest_prime_greater_than(n)
+    return 3 * p * p * (p - 1)
+
+
+def drds_bound(n: int) -> int:
+    """Our DRDS family's guarantee envelope: one full period."""
+    return sequence_period(n)
+
+
+def randomized_expected_ttr(k: int, l: int, overlap: int = 1) -> float:
+    """Expected TTR of the naive randomized scheme (geometric)."""
+    if overlap < 1:
+        raise ValueError("agents without overlap never rendezvous")
+    success = overlap / (k * l)
+    return 1 / success - 1
+
+
+def randomized_whp_bound(k: int, l: int, n: int, overlap: int = 1) -> int:
+    """Slots for failure probability ``<= 1/n`` under random hopping."""
+    if overlap < 1:
+        raise ValueError("agents without overlap never rendezvous")
+    success = overlap / (k * l)
+    return math.ceil(math.log(n) / -math.log1p(-success))

@@ -1,0 +1,199 @@
+"""The maps ``U``, ``M`` and ``R`` of Theorem 1 (paper Section 3).
+
+The asynchronous size-two construction needs an injective map ``R`` whose
+images are simultaneously
+
+* **balanced**          (as many 0s as 1s),
+* **strictly Catalan**  (walk positive on the interior), and
+* **2-maximal**         (walk maximum attained at exactly two positions).
+
+These three properties drive the rendezvous proof: balancedness equalises
+the counts of ``(0,1)/(1,0)`` and of ``(0,0)/(1,1)`` coincidences between
+any two equal-length strings at any relative rotation; strict Catalan-ness
+makes every string distinguishable from all nontrivial rotations of every
+other; 2-maximality rules out a string coinciding with the *complement* of
+any rotation (complements of rotations are 1-maximal... 2-minimal, never
+2-maximal-and-strictly-Catalan).
+
+Pipeline (paper notation):
+
+    R(z) = M( 1 || U(K(z)) || 0 )
+
+* ``K`` is the balanced encoding (:mod:`repro.core.knuth`).
+* ``U(z) = S^c(z) || 1^{l/2} || K(c_2) || 0^{l/2}`` rotates the balanced
+  string ``z`` to a Catalan string (cycle lemma) and records the rotation
+  ``c`` so the map stays injective; ``l = |K(c_2)|``.
+* Wrapping in ``1 ... 0`` upgrades Catalan to strictly Catalan.
+* ``M`` inserts ``1010`` at the first walk-maximum, making the string
+  2-maximal while preserving balance and strictness.
+
+Every map here has an explicit inverse, which the test-suite uses to prove
+injectivity by round-trip.
+"""
+
+from __future__ import annotations
+
+from repro.core import knuth
+from repro.core.bitstrings import (
+    catalan_rotation_index,
+    decode_int,
+    encode_int,
+    even_width,
+    int_bit_width,
+    is_balanced,
+    is_catalan,
+    is_strictly_catalan,
+    maxima_positions,
+    rotate,
+    validate_bits,
+    walk_heights,
+)
+
+__all__ = [
+    "u_transform",
+    "u_inverse",
+    "u_length",
+    "m_transform",
+    "m_inverse",
+    "r_map",
+    "r_inverse",
+    "r_length",
+]
+
+_MARKER = "1010"
+
+
+def _rotation_field_width(length: int) -> int:
+    """Even bit width used to record a rotation index in ``[0, length)``."""
+    return even_width(int_bit_width(max(length - 1, 0)))
+
+
+def u_length(input_length: int) -> int:
+    """``|U(z)|`` for balanced ``z`` with ``|z| == input_length``."""
+    if input_length % 2 != 0:
+        raise ValueError(f"balanced strings have even length, got {input_length}")
+    tail = knuth.encoded_length(_rotation_field_width(input_length))
+    return input_length + 2 * tail
+
+
+def u_transform(z: str) -> str:
+    """Rotate ``z`` to a Catalan string, appending an invertible record.
+
+    ``U(z) = S^c(z) || 1^{l/2} || K(c_2) || 0^{l/2}`` where ``c`` is the
+    Catalan rotation index and ``l = |K(c_2)|``.  The output is Catalan:
+    the rotated part ends at height 0, the ramp climbs to ``l/2``, the
+    balanced middle cannot dip below ``-l/2``, and the final descent
+    returns exactly to 0 (so the output is balanced, too).
+    """
+    validate_bits(z)
+    if not is_balanced(z):
+        raise ValueError("u_transform requires a balanced string")
+    c = catalan_rotation_index(z)
+    field = encode_int(c, _rotation_field_width(len(z)))
+    record = knuth.encode(field)
+    half = len(record) // 2
+    out = rotate(z, c) + "1" * half + record + "0" * half
+    if not is_catalan(out):
+        raise AssertionError(f"U({z!r}) produced non-Catalan output {out!r}")
+    return out
+
+
+def u_inverse(y: str, input_length: int) -> str:
+    """Inverse of :func:`u_transform` for inputs of known length."""
+    validate_bits(y)
+    expected = u_length(input_length)
+    if len(y) != expected:
+        raise ValueError(
+            f"U-image has length {len(y)}, expected {expected} for "
+            f"input_length {input_length}"
+        )
+    field_width = _rotation_field_width(input_length)
+    record_length = knuth.encoded_length(field_width)
+    half = record_length // 2
+    rotated = y[:input_length]
+    ramp = y[input_length : input_length + half]
+    record = y[input_length + half : input_length + half + record_length]
+    descent = y[input_length + half + record_length :]
+    if ramp != "1" * half or descent != "0" * half:
+        raise ValueError("corrupt U-image: ramp/descent padding mismatch")
+    c = decode_int(knuth.decode(record, field_width))
+    if input_length and c >= input_length:
+        raise ValueError(f"corrupt U-image: rotation {c} out of range")
+    return rotate(rotated, -c)
+
+
+def m_transform(z: str) -> str:
+    """Insert ``1010`` at the first walk-maximum of ``z``.
+
+    For a strictly Catalan ``z`` the result is strictly Catalan, balanced,
+    and 2-maximal: the inserted peak exceeds the old maximum by one and is
+    attained exactly twice.
+    """
+    validate_bits(z)
+    if not z:
+        raise ValueError("m_transform requires a nonempty string")
+    heights = walk_heights(z)
+    top = max(heights[:-1])
+    first_max = heights.index(top)
+    return z[:first_max] + _MARKER + z[first_max:]
+
+
+def m_inverse(y: str) -> str:
+    """Inverse of :func:`m_transform`.
+
+    The insertion point is recoverable: the first position attaining the
+    (new) maximum is one step into the inserted ``1010``.
+    """
+    validate_bits(y)
+    if len(y) < len(_MARKER):
+        raise ValueError("M-image too short")
+    heights = walk_heights(y)
+    top = max(heights[:-1])
+    first_max = heights.index(top)
+    insert_at = first_max - 1
+    if insert_at < 0 or y[insert_at : insert_at + 4] != _MARKER:
+        raise ValueError("corrupt M-image: marker not found at insertion point")
+    return y[:insert_at] + y[insert_at + 4 :]
+
+
+def r_length(input_length: int) -> int:
+    """``|R(z)|`` for inputs of even length ``input_length``."""
+    inner = knuth.encoded_length(input_length)
+    return u_length(inner) + 2 + len(_MARKER)
+
+
+def r_map(z: str) -> str:
+    """The full Theorem 1 map ``R(z) = M(1 || U(K(z)) || 0)``.
+
+    ``z`` must have even length (pad widths with
+    :func:`repro.core.bitstrings.even_width` first).  The output is
+    balanced, strictly Catalan and 2-maximal; the test-suite checks all
+    three predicates plus injectivity directly.
+    """
+    validate_bits(z)
+    if len(z) % 2 != 0:
+        raise ValueError(f"r_map requires even-length input, got length {len(z)}")
+    wrapped = "1" + u_transform(knuth.encode(z)) + "0"
+    out = m_transform(wrapped)
+    if not is_strictly_catalan(out):
+        raise AssertionError(f"R({z!r}) is not strictly Catalan: {out!r}")
+    if len(maxima_positions(out)) != 2:
+        raise AssertionError(f"R({z!r}) is not 2-maximal: {out!r}")
+    return out
+
+
+def r_inverse(y: str, input_length: int) -> str:
+    """Inverse of :func:`r_map` for inputs of known even length."""
+    if input_length % 2 != 0:
+        raise ValueError(f"input_length must be even, got {input_length}")
+    expected = r_length(input_length)
+    if len(y) != expected:
+        raise ValueError(
+            f"R-image has length {len(y)}, expected {expected} for "
+            f"input_length {input_length}"
+        )
+    wrapped = m_inverse(y)
+    if not (wrapped.startswith("1") and wrapped.endswith("0")):
+        raise ValueError("corrupt R-image: strict-Catalan wrapper missing")
+    inner = knuth.encoded_length(input_length)
+    return knuth.decode(u_inverse(wrapped[1:-1], inner), input_length)

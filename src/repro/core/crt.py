@@ -1,0 +1,55 @@
+"""Chinese Remainder Theorem solver (substrate for Theorem 3's analysis).
+
+The epoch construction's rendezvous proof finds an epoch index ``r`` with
+``r = x (mod p)`` and ``r = y + mu (mod q)`` for distinct primes ``p, q``;
+the bound on ``r`` (at most ``p*q``) is exactly the CRT bound.  The tests
+and the bound predictor in :mod:`repro.core.epoch` use this module rather
+than re-deriving modular arithmetic inline.
+"""
+
+from __future__ import annotations
+
+__all__ = ["extended_gcd", "crt_pair", "solve_congruences"]
+
+
+def extended_gcd(a: int, b: int) -> tuple[int, int, int]:
+    """Return ``(g, s, t)`` with ``g = gcd(a, b) = s*a + t*b``."""
+    old_r, r = a, b
+    old_s, s = 1, 0
+    old_t, t = 0, 1
+    while r != 0:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_s, s = s, old_s - q * s
+        old_t, t = t, old_t - q * t
+    return old_r, old_s, old_t
+
+
+def crt_pair(r1: int, m1: int, r2: int, m2: int) -> tuple[int, int]:
+    """Solve ``x = r1 (mod m1)``, ``x = r2 (mod m2)``.
+
+    Returns ``(x, lcm)`` with ``0 <= x < lcm``.  Raises ``ValueError``
+    when the congruences are incompatible (possible only for non-coprime
+    moduli).
+    """
+    if m1 <= 0 or m2 <= 0:
+        raise ValueError(f"moduli must be positive, got {m1}, {m2}")
+    g, s, _ = extended_gcd(m1, m2)
+    if (r2 - r1) % g != 0:
+        raise ValueError(
+            f"incompatible congruences x={r1} (mod {m1}), x={r2} (mod {m2})"
+        )
+    lcm = m1 // g * m2
+    step = (r2 - r1) // g
+    x = (r1 + m1 * (step * s % (m2 // g))) % lcm
+    return x, lcm
+
+
+def solve_congruences(pairs: list[tuple[int, int]]) -> tuple[int, int]:
+    """Solve a system ``x = r_i (mod m_i)``; returns ``(x, lcm)``."""
+    if not pairs:
+        raise ValueError("need at least one congruence")
+    x, m = pairs[0][0] % pairs[0][1], pairs[0][1]
+    for r_i, m_i in pairs[1:]:
+        x, m = crt_pair(x, m, r_i, m_i)
+    return x, m

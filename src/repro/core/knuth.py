@@ -1,0 +1,126 @@
+"""Knuth-style balanced encoding ``K(x)`` (paper Section 3).
+
+Theorem 1 needs an efficient *injective* map ``K`` from arbitrary binary
+strings to *balanced* strings (equal number of 0s and 1s) with only
+logarithmic overhead.  The paper cites Knuth's "Efficient balanced codes"
+(IEEE IT 1986): flipping the first ``c`` bits of ``x`` changes the weight
+by one per step, so some prefix length ``c*`` balances the string; the
+encoder appends a short balanced encoding of ``c*``.
+
+Deviation from the paper (documented in DESIGN.md): Knuth's original tail
+encoding recursively saves a ``(1/2) log log`` factor; we use the simpler
+balanced tail ``c*_2 || complement(c*_2)``, giving
+
+    |K(x)| = |x| + 2 * width(|x|)
+
+which has the same ``|x| + O(log |x|)`` shape.  Only constants in the
+final rendezvous time are affected.
+
+The input length must be even (a balanced output of odd length cannot
+exist).  Callers pad widths to even via :func:`repro.core.bitstrings.even_width`.
+"""
+
+from __future__ import annotations
+
+from repro.core.bitstrings import (
+    complement,
+    decode_int,
+    encode_int,
+    int_bit_width,
+    is_balanced,
+    validate_bits,
+    weight,
+)
+
+__all__ = [
+    "encode",
+    "decode",
+    "tail_width",
+    "encoded_length",
+    "balancing_prefix_length",
+]
+
+
+def tail_width(input_length: int) -> int:
+    """Width of the prefix-length field for inputs of ``input_length`` bits.
+
+    The balancing prefix length lies in ``[0, input_length]``, so it needs
+    ``int_bit_width(input_length)`` bits; the balanced tail stores it along
+    with its complement, doubling the width.
+    """
+    if input_length < 0:
+        raise ValueError(f"input_length must be nonnegative, got {input_length}")
+    return int_bit_width(input_length)
+
+
+def encoded_length(input_length: int) -> int:
+    """``|K(x)|`` for any ``x`` with ``|x| == input_length`` (even)."""
+    if input_length % 2 != 0:
+        raise ValueError(f"input_length must be even, got {input_length}")
+    return input_length + 2 * tail_width(input_length)
+
+
+def _flip_prefix(x: str, count: int) -> str:
+    """Flip the first ``count`` bits of ``x``."""
+    return complement(x[:count]) + x[count:]
+
+
+def balancing_prefix_length(x: str) -> int:
+    """Smallest ``c`` such that flipping the first ``c`` bits balances ``x``.
+
+    Exists for every even-length ``x``: the disparity ``wt - |x|/2`` moves
+    by one per unit of ``c`` and is negated at ``c = |x|``, so a discrete
+    intermediate-value argument yields a zero crossing.
+    """
+    validate_bits(x)
+    if len(x) % 2 != 0:
+        raise ValueError("balancing requires an even-length string")
+    half = len(x) // 2
+    disparity = weight(x) - half
+    for c, bit in enumerate(x):
+        if disparity == 0:
+            return c
+        # Flipping bit c changes the weight by -1 for a 1, +1 for a 0.
+        disparity += -1 if bit == "1" else 1
+    if disparity != 0:
+        raise AssertionError("no balancing prefix found; unreachable for even length")
+    return len(x)
+
+
+def encode(x: str) -> str:
+    """Balanced encoding ``K(x)`` of an even-length binary string.
+
+    ``K(x) = flip_prefix(x, c*) || c*_2 || complement(c*_2)``; the tail is
+    itself balanced, so the whole output is balanced.
+    """
+    validate_bits(x)
+    c_star = balancing_prefix_length(x)
+    body = _flip_prefix(x, c_star)
+    tail_value = encode_int(c_star, tail_width(len(x)))
+    encoded = body + tail_value + complement(tail_value)
+    if not is_balanced(encoded):
+        raise AssertionError(f"K({x!r}) produced unbalanced output {encoded!r}")
+    return encoded
+
+
+def decode(y: str, input_length: int) -> str:
+    """Inverse of :func:`encode` for inputs of known ``input_length``."""
+    validate_bits(y)
+    if input_length % 2 != 0:
+        raise ValueError(f"input_length must be even, got {input_length}")
+    expected = encoded_length(input_length)
+    if len(y) != expected:
+        raise ValueError(
+            f"encoded string has length {len(y)}, expected {expected} "
+            f"for input_length {input_length}"
+        )
+    width = tail_width(input_length)
+    body = y[:input_length]
+    tail_value = y[input_length : input_length + width]
+    tail_check = y[input_length + width :]
+    if tail_check != complement(tail_value):
+        raise ValueError("corrupt encoding: tail complement mismatch")
+    c_star = decode_int(tail_value)
+    if c_star > input_length:
+        raise ValueError(f"corrupt encoding: prefix length {c_star} > {input_length}")
+    return _flip_prefix(body, c_star)

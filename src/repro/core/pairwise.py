@@ -1,0 +1,117 @@
+"""Size-two channel-set schedules (paper Theorem 1).
+
+Agents whose channel set has exactly two elements ``{a, b}`` (``a < b``)
+express their schedule as a binary string: ``0`` hops on the smaller
+channel, ``1`` on the larger.  Rendezvous between two such agents reduces
+to realizing specific bit tuples at aligned slots:
+
+* sets sharing their smaller (or larger) element need a simultaneous
+  ``(0,0)`` (resp. ``(1,1)``);
+* sets forming a directed path (the shared element is the larger of one
+  and the smaller of the other) need ``(0,1)`` and ``(1,0)``.
+
+The synchronous map ``C(x) = 01 || x || wt(x)_2`` and the asynchronous map
+``R(x)`` (:mod:`repro.core.catalan`) guarantee those tuples for any two
+colors ``x, y`` of the 2-Ramsey coloring; the coloring guarantees that
+path-forming edges receive distinct colors.
+
+Every schedule built here for a fixed universe size ``n`` has the same
+period (:func:`async_period` / :func:`sync_period`) — the epoch
+construction of Theorem 3 relies on that.
+"""
+
+from __future__ import annotations
+
+from repro.core.bitstrings import complement, encode_int, int_bit_width, weight
+from repro.core.catalan import r_length, r_map
+from repro.core.ramsey import color_bits, color_width, edge_color
+from repro.core.schedule import CyclicSchedule
+
+__all__ = [
+    "sync_pair_string",
+    "async_pair_string",
+    "sync_period",
+    "async_period",
+    "pair_schedule_sync",
+    "pair_schedule_async",
+    "string_to_schedule",
+]
+
+
+def sync_pair_string(x: str) -> str:
+    """The synchronous map ``C(x) = 01 || x || complement(wt(x)_2)``.
+
+    The ``01`` prefix realizes ``(0,0)`` and ``(1,1)`` against any other
+    ``C``-image at time 0/1 (synchronous start); the weight tail realizes
+    the missing cross tuple for distinct inputs of equal length.
+
+    **Paper erratum** (found by this reproduction's tests, documented in
+    DESIGN.md): the paper writes the tail as ``wt(x)_2``, but then for
+    ``wt(x) < wt(y)`` the canonical-encoding property produces *another*
+    ``(0,1)`` coordinate, not the required ``(1,0)`` — e.g. weights 1 vs 3
+    encode as ``01`` vs ``11`` and no coordinate realizes ``(1,0)``
+    anywhere in ``C(x), C(y)``.  Appending the *complement* of the weight
+    encoding repairs the argument: ``wt(x) < wt(y)`` gives a coordinate
+    with 0 in ``wt(x)_2`` and 1 in ``wt(y)_2``, hence ``(1,0)`` after
+    complementing, while the body still supplies ``(0,1)``.
+    """
+    tail = encode_int(weight(x), int_bit_width(len(x)))
+    return "01" + x + complement(tail)
+
+
+def async_pair_string(x: str) -> str:
+    """The asynchronous map ``R(x)``; see :mod:`repro.core.catalan`."""
+    return r_map(x)
+
+
+def sync_period(n: int) -> int:
+    """``|C(x)|`` for the fixed color width of universe size ``n``."""
+    width = color_width(n)
+    return 2 + width + int_bit_width(width)
+
+
+def async_period(n: int) -> int:
+    """``|R(x)|`` for the fixed color width of universe size ``n``.
+
+    This is ``Theta(log log n)``: the color width is
+    ``~log log n`` bits and ``R`` adds ``O(log log log n)`` overhead.
+    """
+    return r_length(color_width(n))
+
+
+def string_to_schedule(bits: str, low: int, high: int) -> CyclicSchedule:
+    """Interpret a bit string as a cyclic schedule over ``{low, high}``."""
+    if not low < high:
+        raise ValueError(f"need low < high, got {low}, {high}")
+    return CyclicSchedule([low if bit == "0" else high for bit in bits])
+
+
+def _pair_color_string(a: int, b: int, n: int, asynchronous: bool) -> str:
+    low, high = min(a, b), max(a, b)
+    x = color_bits(edge_color(low, high, n), n)
+    return async_pair_string(x) if asynchronous else sync_pair_string(x)
+
+
+def pair_schedule_sync(a: int, b: int, n: int) -> CyclicSchedule:
+    """Synchronous-model schedule for the set ``{a, b}`` in universe ``n``.
+
+    Guarantees synchronous rendezvous with the schedule of any overlapping
+    size-two set within ``sync_period(n)`` slots.
+    """
+    if a == b:
+        raise ValueError("pair schedule needs two distinct channels")
+    low, high = min(a, b), max(a, b)
+    return string_to_schedule(_pair_color_string(a, b, n, False), low, high)
+
+
+def pair_schedule_async(a: int, b: int, n: int) -> CyclicSchedule:
+    """Asynchronous-model schedule for the set ``{a, b}`` in universe ``n``.
+
+    Guarantees rendezvous with the schedule of any overlapping size-two
+    set within ``async_period(n)`` slots, for **every** relative shift of
+    the two cyclic schedules (Theorem 1).
+    """
+    if a == b:
+        raise ValueError("pair schedule needs two distinct channels")
+    low, high = min(a, b), max(a, b)
+    return string_to_schedule(_pair_color_string(a, b, n, True), low, high)

@@ -1,0 +1,81 @@
+"""Prime-number utilities for the epoch construction (paper Theorem 3).
+
+Theorem 3 assigns each agent with ``k`` channels a pair of distinct primes
+from ``[k, 3k]``; Bertrand's postulate (applied twice) guarantees the pair
+exists for every ``k >= 1``.  The baselines additionally need the smallest
+prime at least / strictly greater than ``n``.
+
+Deterministic Miller-Rabin is exact for 64-bit inputs with the standard
+witness set; everything here is far below that.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "is_prime",
+    "primes_in_range",
+    "two_primes_for_set_size",
+    "smallest_prime_at_least",
+    "smallest_prime_greater_than",
+]
+
+_MR_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic primality test (exact for all ``n < 3.3e24``)."""
+    if n < 2:
+        return False
+    for p in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+        if n % p == 0:
+            return n == p
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for a in _MR_WITNESSES:
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def primes_in_range(lo: int, hi: int) -> list[int]:
+    """All primes ``p`` with ``lo <= p <= hi`` (inclusive both ends)."""
+    return [p for p in range(max(lo, 2), hi + 1) if is_prime(p)]
+
+
+def two_primes_for_set_size(k: int) -> tuple[int, int]:
+    """The two smallest distinct primes in ``[k, 3k]`` (paper Theorem 3).
+
+    For every ``k >= 1`` at least two primes exist in this window; we
+    assert rather than assume.
+    """
+    if k < 1:
+        raise ValueError(f"set size must be positive, got {k}")
+    primes = primes_in_range(k, 3 * k)
+    if len(primes) < 2:
+        raise AssertionError(
+            f"fewer than two primes in [{k}, {3 * k}]; contradicts Bertrand"
+        )
+    return primes[0], primes[1]
+
+
+def smallest_prime_at_least(n: int) -> int:
+    """Smallest prime ``p >= n`` (used by CRSEQ and the DRDS baseline)."""
+    candidate = max(n, 2)
+    while not is_prime(candidate):
+        candidate += 1
+    return candidate
+
+
+def smallest_prime_greater_than(n: int) -> int:
+    """Smallest prime ``p > n`` (used by Jump-Stay)."""
+    return smallest_prime_at_least(n + 1)

@@ -1,0 +1,69 @@
+"""2-Ramsey edge coloring of the linear poset ``L_n`` (paper Lemma 2).
+
+``L_n`` is the complete DAG on channels with edges ``(a, b)`` for
+``a < b``.  A *2-Ramsey* coloring assigns colors so that no directed path
+of length two is monochromatic: ``chi(a, b) != chi(b, c)`` whenever
+``a < b < c``.  The paper achieves a palette of ``ceil(log2 n)`` colors by
+coloring ``(a, b)`` with any bit position set in ``b`` but not in ``a``.
+
+Conventions (see DESIGN.md):
+
+* Channels are **0-indexed**: ``0 .. n-1``.  (With the paper's 1-indexed
+  channels, vertex ``n`` may need a bit outside the claimed palette; with
+  0-indexing the palette width ``max(1, ceil(log2 n))`` is exact.)
+* The canonical color is the **highest** bit of ``b & ~a`` — any choice
+  works for correctness; the ablation bench compares alternatives.
+
+Why a nonempty choice always exists: if every set bit of ``b`` were also
+set in ``a``, then ``a`` would bitwise-dominate ``b`` and hence ``a >= b``,
+contradicting ``a < b``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["palette_width", "edge_color", "color_width", "color_bits"]
+
+from repro.core.bitstrings import encode_int, even_width, int_bit_width
+
+
+def palette_width(n: int) -> int:
+    """Number of colors used for universe size ``n`` (``log# n``, floored at 1)."""
+    if n < 2:
+        raise ValueError(f"a coloring needs at least 2 channels, got n={n}")
+    return int_bit_width(n - 1)
+
+
+def edge_color(a: int, b: int, n: int, *, lowest: bool = False) -> int:
+    """Color of the poset edge ``(a, b)`` with ``0 <= a < b < n``.
+
+    Returns a bit position in ``[0, palette_width(n))`` that is set in
+    ``b`` and clear in ``a``.  With ``lowest=True`` the lowest such bit is
+    used instead of the highest (ablation knob; both are valid 2-Ramsey
+    colorings).
+    """
+    if not 0 <= a < b < n:
+        raise ValueError(f"edge_color requires 0 <= a < b < n, got a={a} b={b} n={n}")
+    difference = b & ~a
+    if difference == 0:
+        raise AssertionError(f"no distinguishing bit for a={a} < b={b}; unreachable")
+    if lowest:
+        return (difference & -difference).bit_length() - 1
+    return difference.bit_length() - 1
+
+
+def color_width(n: int) -> int:
+    """Even bit width of the canonical color encoding for universe ``n``.
+
+    All colors of a given universe are encoded at this fixed width so that
+    every size-two schedule of the universe has the same period.
+    """
+    return even_width(int_bit_width(palette_width(n) - 1))
+
+
+def color_bits(color: int, n: int) -> str:
+    """Fixed-width binary encoding of ``color`` for universe size ``n``."""
+    if not 0 <= color < palette_width(n):
+        raise ValueError(
+            f"color {color} outside palette [0, {palette_width(n)}) for n={n}"
+        )
+    return encode_int(color, color_width(n))

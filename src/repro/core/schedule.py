@@ -1,0 +1,126 @@
+"""Channel-hopping schedule abstractions.
+
+A *schedule* is the paper's ``sigma : N -> S``: an infinite map from local
+time slots to channels.  All concrete constructions in this package are
+eventually cyclic, so the base class carries a ``period`` and supports
+vectorized materialization into numpy arrays — the verification engine
+and the simulator compare schedules as arrays rather than slot by slot.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Schedule",
+    "CyclicSchedule",
+    "ConstantSchedule",
+    "FunctionSchedule",
+]
+
+_CACHE_LIMIT = 1 << 22  # largest period array worth caching (slots)
+
+
+class Schedule:
+    """Base class: an infinite, eventually-cyclic channel schedule.
+
+    Subclasses must set ``period`` (a positive int) and ``channels`` (the
+    frozenset of channels the schedule can visit) and implement
+    :meth:`channel_at`.
+    """
+
+    period: int
+    channels: frozenset[int]
+
+    def channel_at(self, t: int) -> int:
+        """Channel accessed at local slot ``t >= 0``."""
+        raise NotImplementedError
+
+    def materialize(self, start: int, stop: int) -> np.ndarray:
+        """Channels for slots ``start .. stop-1`` as an int64 array.
+
+        For moderate periods this tiles one cached period array, so a
+        window of any size costs one pass over the period plus a copy.
+        Schedules with huge periods (e.g. Jump-Stay's cubic period at
+        large ``n``) evaluate only the requested window instead.
+        """
+        if stop < start:
+            raise ValueError(f"empty window: start={start}, stop={stop}")
+        if self.period > _CACHE_LIMIT and (stop - start) < self.period:
+            return np.fromiter(
+                (self.channel_at(t) for t in range(start, stop)),
+                dtype=np.int64,
+                count=stop - start,
+            )
+        period_array = self._period_array()
+        indices = np.arange(start, stop, dtype=np.int64) % self.period
+        return period_array[indices]
+
+    def _period_array(self) -> np.ndarray:
+        cached = getattr(self, "_period_array_cache", None)
+        if cached is not None:
+            return cached
+        array = np.fromiter(
+            (self.channel_at(t) for t in range(self.period)),
+            dtype=np.int64,
+            count=self.period,
+        )
+        if self.period <= _CACHE_LIMIT:
+            self._period_array_cache = array
+        return array
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        name = type(self).__name__
+        return f"{name}(period={self.period}, channels={sorted(self.channels)})"
+
+
+class CyclicSchedule(Schedule):
+    """Endless repetition of a finite channel sequence (``sigma-circle``)."""
+
+    def __init__(self, sequence: Sequence[int]):
+        if len(sequence) == 0:
+            raise ValueError("cyclic schedule needs a nonempty sequence")
+        self._sequence = np.asarray(sequence, dtype=np.int64)
+        self.period = len(sequence)
+        self.channels = frozenset(int(c) for c in sequence)
+
+    def channel_at(self, t: int) -> int:
+        return int(self._sequence[t % self.period])
+
+    def _period_array(self) -> np.ndarray:
+        return self._sequence
+
+
+class ConstantSchedule(Schedule):
+    """Always the same channel (singleton channel sets, stay phases)."""
+
+    def __init__(self, channel: int):
+        self._channel = int(channel)
+        self.period = 1
+        self.channels = frozenset((self._channel,))
+
+    def channel_at(self, t: int) -> int:
+        return self._channel
+
+
+class FunctionSchedule(Schedule):
+    """Schedule defined by an arbitrary slot function with known period."""
+
+    def __init__(
+        self,
+        fn: Callable[[int], int],
+        period: int,
+        channels: frozenset[int] | None = None,
+    ):
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        self._fn = fn
+        self.period = period
+        if channels is None:
+            channels = frozenset(fn(t) for t in range(min(period, 4096)))
+        self.channels = channels
+
+    def channel_at(self, t: int) -> int:
+        return self._fn(t)

@@ -1,0 +1,145 @@
+"""Rendezvous verification engine (paper Section 2 definitions).
+
+Implements the paper's synchronous and asynchronous rendezvous-time
+definitions as executable checks:
+
+* ``sigma_A`` and ``sigma_B`` rendezvous *synchronously* in time ``T`` if
+  some ``t <= T`` has ``sigma_A(t) == sigma_B(t)``;
+* they rendezvous *asynchronously* in time ``T`` if for all wake-ups
+  ``tA, tB`` there is ``max(tA,tB) <= t <= max(tA,tB) + T`` with
+  ``sigma_A(t - tA) == sigma_B(t - tB)``.
+
+Only the relative shift ``tB - tA`` matters, so the asynchronous checks
+sweep shifts.  For two cyclic schedules the joint behaviour is periodic in
+the shift with period ``lcm(periods)``; checking shifts in
+``[0, lcm)`` in both directions is therefore *exhaustive* — the tests use
+this to certify guarantees, not just sample them.
+
+All scans are vectorized over numpy windows.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+import numpy as np
+
+from repro.core.schedule import Schedule
+
+__all__ = [
+    "first_rendezvous",
+    "ttr_for_shift",
+    "ttr_profile",
+    "max_ttr",
+    "exhaustive_shift_range",
+    "verify_guarantee",
+]
+
+
+def first_rendezvous(
+    a: Schedule,
+    b: Schedule,
+    wake_a: int,
+    wake_b: int,
+    horizon: int,
+    chunk: int = 1 << 16,
+) -> int | None:
+    """Slots until rendezvous measured from ``max(wake_a, wake_b)``.
+
+    Scans global time ``t`` from the later wake-up in vectorized chunks;
+    returns ``None`` when no coincidence occurs within ``horizon`` slots.
+    """
+    if wake_a < 0 or wake_b < 0:
+        raise ValueError("wake-up times must be nonnegative")
+    start = max(wake_a, wake_b)
+    for lo in range(start, start + horizon, chunk):
+        hi = min(lo + chunk, start + horizon)
+        window_a = a.materialize(lo - wake_a, hi - wake_a)
+        window_b = b.materialize(lo - wake_b, hi - wake_b)
+        hits = np.nonzero(window_a == window_b)[0]
+        if hits.size:
+            return lo - start + int(hits[0])
+    return None
+
+
+def ttr_for_shift(
+    a: Schedule,
+    b: Schedule,
+    shift: int,
+    horizon: int,
+    chunk: int = 1 << 16,
+) -> int | None:
+    """TTR when ``b`` wakes ``shift`` slots after ``a`` (negative: before).
+
+    ``chunk`` tunes the scan granularity: small chunks suit exhaustive
+    shift sweeps where most hits come early.
+    """
+    if shift >= 0:
+        return first_rendezvous(a, b, 0, shift, horizon, chunk=chunk)
+    return first_rendezvous(a, b, -shift, 0, horizon, chunk=chunk)
+
+
+def ttr_profile(
+    a: Schedule,
+    b: Schedule,
+    shifts: Iterable[int],
+    horizon: int,
+) -> dict[int, int | None]:
+    """TTR for each relative shift; ``None`` marks a miss within horizon."""
+    return {shift: ttr_for_shift(a, b, shift, horizon) for shift in shifts}
+
+
+def exhaustive_shift_range(a: Schedule, b: Schedule) -> range:
+    """Shifts that cover *all* joint behaviours of two cyclic schedules.
+
+    The coincidence pattern of ``sigma_A(t)`` vs ``sigma_B(t - shift)`` is
+    periodic in ``shift`` with period ``lcm(period_A, period_B)``; both
+    signs are covered because the range is a full period of the lattice.
+    """
+    return range(0, math.lcm(a.period, b.period))
+
+
+def max_ttr(
+    a: Schedule,
+    b: Schedule,
+    shifts: Iterable[int],
+    horizon: int,
+) -> int:
+    """Maximum TTR over the given shifts.
+
+    Raises ``AssertionError`` if any shift misses within the horizon —
+    callers that expect guaranteed rendezvous should size the horizon
+    above the theoretical bound.
+    """
+    worst = -1
+    for shift, ttr in ttr_profile(a, b, shifts, horizon).items():
+        if ttr is None:
+            raise AssertionError(
+                f"no rendezvous within horizon {horizon} at shift {shift}"
+            )
+        worst = max(worst, ttr)
+    return worst
+
+
+def verify_guarantee(
+    a: Schedule,
+    b: Schedule,
+    bound: int,
+    shifts: Iterable[int] | None = None,
+) -> tuple[bool, int, int | None]:
+    """Check that every tested shift rendezvouses within ``bound`` slots.
+
+    Returns ``(ok, worst_ttr, failing_shift)``.  With ``shifts=None`` the
+    exhaustive shift range is used (exact certification for cyclic
+    schedules).
+    """
+    if shifts is None:
+        shifts = exhaustive_shift_range(a, b)
+    worst = -1
+    for shift in shifts:
+        ttr = ttr_for_shift(a, b, shift, bound + 1)
+        if ttr is None or ttr > bound:
+            return False, worst, shift
+        worst = max(worst, ttr)
+    return True, worst, None

@@ -1,0 +1,52 @@
+"""Executable evidence for the paper's lower bounds (Section 4).
+
+* Exact small-case ``Rs(n, 2)`` by exhaustive search (beneath Theorem 4).
+* Ramsey witnesses: monochromatic paths in truncated schedule families.
+* Theorem 7 density statistics and adversarial instance search.
+"""
+
+from repro.lowerbounds.density import (
+    AdversarialWitness,
+    mean_density,
+    occurrence_density,
+    search_hard_instance,
+)
+from repro.lowerbounds.exhaustive import (
+    assignment_feasible,
+    async_feasible,
+    cyclic_pair_ok,
+    exact_ra2,
+    exact_rs2,
+    required_tuples,
+    sync_feasible,
+)
+from repro.lowerbounds.ramsey_witness import (
+    find_monochromatic_path,
+    ramsey_universe_threshold,
+    truncation_witness,
+)
+from repro.lowerbounds.theorem6 import (
+    Theorem6Witness,
+    find_violation,
+    verify_violation,
+)
+
+__all__ = [
+    "Theorem6Witness",
+    "find_violation",
+    "verify_violation",
+    "required_tuples",
+    "assignment_feasible",
+    "sync_feasible",
+    "exact_rs2",
+    "cyclic_pair_ok",
+    "async_feasible",
+    "exact_ra2",
+    "ramsey_universe_threshold",
+    "find_monochromatic_path",
+    "truncation_witness",
+    "occurrence_density",
+    "mean_density",
+    "AdversarialWitness",
+    "search_hard_instance",
+]

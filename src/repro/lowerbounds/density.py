@@ -1,0 +1,109 @@
+"""Empirical side of Theorem 7: the ``Omega(|A||B|)`` asynchronous bound.
+
+Theorem 7 argues via occurrence densities: ``Delta(h, sigma; T)`` is the
+fraction of the first ``T`` slots in which schedule ``sigma`` plays
+channel ``h``; averaging over random single-overlap instances makes
+``k * Delta_A + l * Delta_B`` concentrate near 2, so some instance has
+``Delta_A * Delta_B <= 1/(k l)`` and needs ``~k l`` slots.
+
+This module provides the density statistic and an adversarial search
+that *finds* hard instances for any concrete schedule builder — giving
+the measured points the benches compare against ``k * l``.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
+
+from repro.core.schedule import Schedule
+from repro.core.verification import ttr_for_shift
+
+__all__ = ["occurrence_density", "mean_density", "AdversarialWitness", "search_hard_instance"]
+
+
+def occurrence_density(schedule: Schedule, channel: int, horizon: int) -> float:
+    """``Delta(channel, schedule; horizon)`` — occurrence fraction."""
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    window = schedule.materialize(0, horizon)
+    return float((window == channel).sum()) / horizon
+
+
+def mean_density(
+    builder: Callable[[frozenset[int], int], Schedule],
+    n: int,
+    k: int,
+    horizon: int,
+    samples: int,
+    seed: int = 0,
+) -> float:
+    """Average of ``Delta(h, sigma_A)`` over random ``(A, h in A)``.
+
+    Theorem 7's first expectation: this equals ``1/k`` exactly in
+    expectation for any schedule family (each agent plays *some* channel
+    every slot).
+    """
+    rng = random.Random(seed)
+    total = 0.0
+    for _ in range(samples):
+        channels = frozenset(rng.sample(range(n), k))
+        h = rng.choice(sorted(channels))
+        total += occurrence_density(builder(channels, n), h, horizon)
+    return total / samples
+
+
+@dataclass(frozen=True)
+class AdversarialWitness:
+    """A hard instance found by search: sets, shift, and measured TTR."""
+
+    a_set: frozenset[int]
+    b_set: frozenset[int]
+    shift: int
+    ttr: int
+
+    @property
+    def kl_product(self) -> int:
+        return len(self.a_set) * len(self.b_set)
+
+
+def search_hard_instance(
+    builder: Callable[[frozenset[int], int], Schedule],
+    n: int,
+    k: int,
+    l: int,
+    instances: int,
+    shifts_per_instance: int,
+    horizon: int,
+    seed: int = 0,
+    extra_shifts: Iterable[int] = (),
+) -> AdversarialWitness:
+    """Adversarial search for the worst (A, B, shift) single-overlap case.
+
+    Samples single-overlap instances and relative shifts, returning the
+    witness with the largest time-to-rendezvous.  A miss within
+    ``horizon`` raises (deterministic builders must not miss when the
+    horizon exceeds their guarantee).
+    """
+    rng = random.Random(seed)
+    best: AdversarialWitness | None = None
+    for _ in range(instances):
+        pool = rng.sample(range(n), k + l - 1)
+        a_set = frozenset(pool[:k])
+        b_set = frozenset([pool[0]] + pool[k:])
+        a = builder(a_set, n)
+        b = builder(b_set, n)
+        shift_pool = list(extra_shifts)
+        shift_pool += [rng.randrange(max(a.period, b.period)) for _ in range(shifts_per_instance)]
+        for shift in shift_pool:
+            ttr = ttr_for_shift(a, b, shift, horizon)
+            if ttr is None:
+                raise AssertionError(
+                    f"builder missed rendezvous within {horizon} slots "
+                    f"({sorted(a_set)} vs {sorted(b_set)}, shift {shift})"
+                )
+            if best is None or ttr > best.ttr:
+                best = AdversarialWitness(a_set, b_set, shift, ttr)
+    assert best is not None
+    return best

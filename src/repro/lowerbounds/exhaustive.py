@@ -1,0 +1,222 @@
+"""Exact optimal synchronous rendezvous times for size-two sets (§4).
+
+Theorem 4 proves ``Rs(n, 2) = Omega(log log n)`` via Ramsey theory.  This
+module *computes* ``Rs(n, 2)`` exactly for small universes by exhaustive
+backtracking over all (n,2)-schedule assignments, giving concrete data
+points beneath the asymptotic bound.
+
+Model: a synchronous (n,2)-schedule assigns each edge ``{a < b}`` a
+binary string of length ``T`` (0 = hop on ``a``, 1 = hop on ``b``); two
+overlapping sets rendezvous iff the required coincidence tuple appears at
+some aligned slot:
+
+* shared smaller element  -> ``(0, 0)``
+* shared larger element   -> ``(1, 1)``
+* path (one's max = other's min) -> ``(1, 0)`` / ``(0, 1)`` respectively
+* identical sets: anonymity forces identical strings; they coincide in
+  every slot, so no constraint.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+__all__ = [
+    "required_tuples",
+    "assignment_feasible",
+    "sync_feasible",
+    "exact_rs2",
+    "cyclic_pair_ok",
+    "async_feasible",
+    "exact_ra2",
+]
+
+
+def required_tuples(e1: tuple[int, int], e2: tuple[int, int]) -> list[tuple[int, int]]:
+    """Coincidence tuples (bit of e1, bit of e2) that force rendezvous.
+
+    Returns the list of tuples of which *at least one occurrence each*
+    is required; empty when the edges do not overlap (or are identical).
+    """
+    a, b = e1
+    c, d = e2
+    if not (a < b and c < d):
+        raise ValueError("edges must be ordered pairs")
+    if e1 == e2 or not ({a, b} & {c, d}):
+        return []
+    needed = []
+    if a == c:
+        needed.append((0, 0))
+    if b == d:
+        needed.append((1, 1))
+    if b == c:  # e1's larger element is e2's smaller
+        needed.append((1, 0))
+    if a == d:
+        needed.append((0, 1))
+    return needed
+
+
+def assignment_feasible(
+    edges: list[tuple[int, int]],
+    strings: dict[tuple[int, int], tuple[int, ...]],
+) -> bool:
+    """Check every overlapping pair of *assigned* edges."""
+    assigned = [e for e in edges if e in strings]
+    for e1, e2 in itertools.combinations(assigned, 2):
+        for tup in required_tuples(e1, e2):
+            r, s = strings[e1], strings[e2]
+            if not any((x, y) == tup for x, y in zip(r, s)):
+                return False
+    return True
+
+
+def _compatible(
+    edge: tuple[int, int],
+    candidate: tuple[int, ...],
+    strings: dict[tuple[int, int], tuple[int, ...]],
+) -> bool:
+    for other, assigned in strings.items():
+        for tup in required_tuples(edge, other):
+            if not any((x, y) == tup for x, y in zip(candidate, assigned)):
+                return False
+    return True
+
+
+def sync_feasible(n: int, T: int, node_budget: int = 2_000_000) -> bool | None:
+    """Does an (n,2)-schedule with synchronous rendezvous time ``T`` exist?
+
+    Exhaustive backtracking; returns True/False, or ``None`` if the
+    search exceeds ``node_budget`` expansions (undecided).
+    """
+    if n < 2:
+        raise ValueError("need n >= 2")
+    if T < 1:
+        return n == 2  # no slots: only the single-edge universe is fine
+    edges = [(a, b) for a in range(n) for b in range(a + 1, n)]
+    candidates = list(itertools.product((0, 1), repeat=T))
+    budget = node_budget
+
+    def backtrack(index: int, strings: dict) -> bool | None:
+        nonlocal budget
+        if index == len(edges):
+            return True
+        edge = edges[index]
+        for candidate in candidates:
+            budget -= 1
+            if budget <= 0:
+                return None
+            if _compatible(edge, candidate, strings):
+                strings[edge] = candidate
+                result = backtrack(index + 1, strings)
+                if result:
+                    return True
+                if result is None:
+                    return None
+                del strings[edge]
+        return False
+
+    return backtrack(0, {})
+
+
+def exact_rs2(n: int, T_max: int = 8, node_budget: int = 2_000_000) -> int | None:
+    """Smallest ``T`` such that ``sync_feasible(n, T)``, or None if the
+    budget runs out before a feasible ``T <= T_max`` is certified."""
+    for T in range(1, T_max + 1):
+        result = sync_feasible(n, T, node_budget=node_budget)
+        if result:
+            return T
+        if result is None:
+            return None
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Asynchronous variant: schedules are cyclic, tuples must be realized at
+# EVERY relative rotation (the model of Theorem 1 / Theorem 7).
+# ---------------------------------------------------------------------------
+
+
+def cyclic_pair_ok(
+    r: tuple[int, ...],
+    s: tuple[int, ...],
+    needed: list[tuple[int, int]],
+) -> bool:
+    """Do cyclic strings ``r``, ``s`` realize every needed tuple at every
+    relative rotation?"""
+    T = len(r)
+    for shift in range(T):
+        rotated = s[shift:] + s[:shift]
+        realized = {(x, y) for x, y in zip(r, rotated)}
+        if not all(tup in realized for tup in needed):
+            return False
+    return True
+
+
+def _self_compatible(r: tuple[int, ...]) -> bool:
+    """Identical sets run identical cyclic strings at arbitrary shifts:
+    the string must realize (0,0) and (1,1) against every rotation of
+    itself (the paper's ``r diamond-0 r`` at all shifts)."""
+    return cyclic_pair_ok(r, r, [(0, 0), (1, 1)])
+
+
+def async_feasible(n: int, T: int, node_budget: int = 2_000_000) -> bool | None:
+    """Does an (n,2)-schedule family of cyclic period ``T`` guarantee
+    *asynchronous* rendezvous within ``T`` slots?
+
+    Exhaustive backtracking over self-compatible strings; ``None`` when
+    the node budget is exhausted (undecided).
+    """
+    if n < 2:
+        raise ValueError("need n >= 2")
+    if T < 1:
+        return False
+    edges = [(a, b) for a in range(n) for b in range(a + 1, n)]
+    candidates = [
+        c for c in itertools.product((0, 1), repeat=T) if _self_compatible(c)
+    ]
+    if not candidates:
+        return False
+    budget = node_budget
+
+    def compatible(edge, candidate, strings) -> bool:
+        for other, assigned in strings.items():
+            needed = required_tuples(edge, other)
+            if needed and not cyclic_pair_ok(candidate, assigned, needed):
+                return False
+            reverse = required_tuples(other, edge)
+            if reverse and not cyclic_pair_ok(assigned, candidate, reverse):
+                return False
+        return True
+
+    def backtrack(index: int, strings: dict) -> bool | None:
+        nonlocal budget
+        if index == len(edges):
+            return True
+        edge = edges[index]
+        for candidate in candidates:
+            budget -= 1
+            if budget <= 0:
+                return None
+            if compatible(edge, candidate, strings):
+                strings[edge] = candidate
+                result = backtrack(index + 1, strings)
+                if result:
+                    return True
+                if result is None:
+                    return None
+                del strings[edge]
+        return False
+
+    return backtrack(0, {})
+
+
+def exact_ra2(n: int, T_max: int = 10, node_budget: int = 2_000_000) -> int | None:
+    """Smallest cyclic period guaranteeing asynchronous rendezvous for
+    all overlapping 2-sets of ``[n]`` — the exact small-case ``Ra(n, 2)``."""
+    for T in range(1, T_max + 1):
+        result = async_feasible(n, T, node_budget=node_budget)
+        if result:
+            return T
+        if result is None:
+            return None
+    return None

@@ -1,0 +1,67 @@
+"""Ramsey witnesses: monochromatic paths kill size-two schedules (Thm 4).
+
+Theorem 4's engine: treat length-``T`` schedule strings as colors of the
+edges of ``K_n``; by Ramsey's theorem, once ``n >= e * (2^T)!`` some
+directed path ``a < b < c`` gets identical strings on ``(a,b)`` and
+``(b,c)`` — and identical strings can never realize the ``(1, 0)``
+coincidence that a path needs, so rendezvous fails.
+
+This module finds such witnesses in concrete schedule families, and
+computes the Ramsey threshold the theorem uses.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable
+
+__all__ = [
+    "ramsey_universe_threshold",
+    "find_monochromatic_path",
+    "truncation_witness",
+]
+
+
+def ramsey_universe_threshold(T: int) -> int:
+    """``ceil(e * (2^T)!)`` — a universe size at which *any* length-``T``
+    synchronous (n,2)-schedule must fail (Theorem 4)."""
+    if T < 0:
+        raise ValueError("T must be nonnegative")
+    colors = 2**T
+    return math.ceil(math.e * math.factorial(colors))
+
+
+def find_monochromatic_path(
+    string_of_edge: Callable[[int, int], str],
+    n: int,
+) -> tuple[int, int, int] | None:
+    """First path ``a < b < c`` whose two edges carry identical strings.
+
+    ``string_of_edge(a, b)`` must return the schedule string of the edge
+    ``{a < b}``.  Returns ``None`` when no witness exists (e.g. for the
+    paper's Ramsey-colored construction).
+    """
+    # Group edges by string per middle vertex for an O(n^2) scan.
+    for b in range(1, n - 1):
+        incoming: dict[str, int] = {}
+        for a in range(b):
+            incoming.setdefault(string_of_edge(a, b), a)
+        for c in range(b + 1, n):
+            s = string_of_edge(b, c)
+            if s in incoming:
+                return (incoming[s], b, c)
+    return None
+
+
+def truncation_witness(
+    string_of_edge: Callable[[int, int], str],
+    n: int,
+    T: int,
+) -> tuple[int, int, int] | None:
+    """Witness for the *truncated* family: strings cut to ``T`` slots.
+
+    Truncating a correct schedule family far enough always produces a
+    monochromatic path once ``n`` is large relative to ``2^T`` — the
+    mechanism behind the Omega(log log n) bound.
+    """
+    return find_monochromatic_path(lambda a, b: string_of_edge(a, b)[:T], n)

@@ -1,0 +1,136 @@
+"""Theorem 6 as an executable adversary: the synchronous ``k alpha`` bound.
+
+Theorem 6 proves ``Rs(n, k) >= k * alpha`` for ``k <= n^(1/(2 alpha))``
+by a pigeonhole construction.  This module *runs* that construction
+against any concrete (n,k)-schedule family:
+
+1. partition the universe into ``n/k`` disjoint k-sets ``S_1..S_{n/k}``;
+2. in each, find a channel ``a_i`` appearing fewer than ``alpha`` times
+   in the first ``alpha k - 1`` slots, and pad its occurrence-slot set to
+   a fixed-size set ``A_i`` of ``alpha - 1`` slots;
+3. pigeonhole: with enough sets, ``k`` of them share the same ``A``-set;
+4. the probe set ``S-hat = {a_{i_1}, ..., a_{i_k}}`` then cannot meet all
+   of ``S_{i_1}..S_{i_k}`` within ``alpha k - 1`` slots: rendezvous with
+   ``S_{i_j}`` must happen where ``S-hat`` plays ``a_{i_j}``, which must
+   intersect ``A`` — but the k disjoint requirement sets cannot all fit
+   in ``|A| = alpha - 1 < k`` slots.
+
+Given any family builder, :func:`find_violation` executes steps 1-3 and
+returns the probe instance; :func:`verify_violation` checks step 4's
+conclusion empirically — some pair genuinely fails to meet within
+``alpha k - 1`` slots.  Together they turn the proof into a test that any
+claimed-fast schedule family must fail.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.core.schedule import Schedule
+
+__all__ = ["Theorem6Witness", "find_violation", "verify_violation"]
+
+Builder = Callable[[frozenset[int], int], Schedule]
+
+
+@dataclass(frozen=True)
+class Theorem6Witness:
+    """Output of the pigeonhole construction."""
+
+    probe_set: frozenset[int]
+    requirement_sets: tuple[frozenset[int], ...]
+    shared_slots: frozenset[int]
+    horizon: int
+
+
+def _rare_channel_slots(
+    schedule: Schedule, channels: frozenset[int], horizon: int, alpha: int
+) -> tuple[int, frozenset[int]] | None:
+    """A channel of the set appearing fewer than ``alpha`` times, with its
+    occurrence slots; None if every channel is frequent (cannot happen
+    when ``alpha * k > horizon``... defensively handled anyway)."""
+    window = [schedule.channel_at(t) for t in range(horizon)]
+    for channel in sorted(channels):
+        slots = frozenset(t for t, c in enumerate(window) if c == channel)
+        if len(slots) < alpha:
+            return channel, slots
+    return None
+
+
+def find_violation(
+    builder: Builder,
+    n: int,
+    k: int,
+    alpha: int,
+) -> Theorem6Witness | None:
+    """Run the pigeonhole steps against ``builder``'s schedule family.
+
+    Returns a witness when ``k`` partition sets share an ``A``-set (the
+    paper guarantees this for ``n >= k^(2 alpha)``); ``None`` when the
+    universe is too small for the pigeonhole to fire.
+    """
+    if alpha < 1 or k < 1:
+        raise ValueError("alpha and k must be positive")
+    horizon = alpha * k - 1
+    groups: dict[frozenset[int], list[tuple[int, frozenset[int]]]] = {}
+    num_sets = n // k
+    for i in range(num_sets):
+        channels = frozenset(range(i * k, (i + 1) * k))
+        schedule = builder(channels, n)
+        rare = _rare_channel_slots(schedule, channels, horizon, alpha)
+        if rare is None:
+            continue
+        channel, slots = rare
+        # Pad deterministically to exactly alpha - 1 slots.
+        padded = set(slots)
+        for t in range(horizon):
+            if len(padded) >= alpha - 1:
+                break
+            padded.add(t)
+        key = frozenset(padded)
+        groups.setdefault(key, []).append((channel, channels))
+    for shared, members in groups.items():
+        if len(members) >= k:
+            chosen = members[:k]
+            return Theorem6Witness(
+                probe_set=frozenset(channel for channel, _ in chosen),
+                requirement_sets=tuple(channels for _, channels in chosen),
+                shared_slots=shared,
+                horizon=horizon,
+            )
+    return None
+
+
+def verify_violation(
+    builder: Builder,
+    witness: Theorem6Witness,
+    n: int,
+) -> bool:
+    """Check the conclusion: the probe set cannot synchronously meet all
+    its requirement sets within the horizon.
+
+    Returns True when at least one requirement set fails to meet the
+    probe within ``witness.horizon`` slots (rendezvous counted only at
+    aligned slots, the synchronous model).
+    """
+    probe = builder(witness.probe_set, n)
+    probe_window = [probe.channel_at(t) for t in range(witness.horizon)]
+    for channels in witness.requirement_sets:
+        other = builder(channels, n)
+        met = any(
+            probe_window[t] == other.channel_at(t) for t in range(witness.horizon)
+        )
+        if not met:
+            return True
+    return False
+
+
+def partition_requirements_infeasible(witness: Theorem6Witness) -> bool:
+    """The combinatorial core, checked directly: k pairwise-disjoint
+    nonempty requirement slot-sets cannot fit inside the shared A-set of
+    size alpha - 1 < k (the contradiction in the paper's proof)."""
+    # Each requirement set needs at least one dedicated slot within the
+    # shared A-set; disjointness makes that |A| >= k, which fails.
+    return len(witness.shared_slots) < len(witness.requirement_sets)

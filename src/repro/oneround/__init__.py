@@ -1,0 +1,27 @@
+"""One-round rendezvous maximization (paper Appendix).
+
+The graphical case: agents are edges, one slot, each agent picks one of
+its two channels; maximize rendezvousing pairs.  Includes the exact
+brute-force optimum (small instances), the 0.25 random baseline, and the
+0.439-approximation via a GW-style SDP over edge vectors.
+"""
+
+from repro.oneround.orientation import (
+    OneRoundInstance,
+    brute_force_optimum,
+    count_in_pairs,
+    count_out_pairs,
+)
+from repro.oneround.random_rounding import best_of_random, random_orientation
+from repro.oneround.sdp import OneRoundSDP, sdp_orient
+
+__all__ = [
+    "OneRoundInstance",
+    "count_in_pairs",
+    "count_out_pairs",
+    "brute_force_optimum",
+    "random_orientation",
+    "best_of_random",
+    "OneRoundSDP",
+    "sdp_orient",
+]

@@ -1,0 +1,104 @@
+"""One-round graphical rendezvous model (paper Appendix).
+
+In the graphical case every agent has exactly two channels, so agents are
+*edges* of a graph on channels.  In a single round each agent picks one
+of its two channels — an *orientation* of its edge (pointing toward the
+chosen channel).  Two incident agents rendezvous iff both edges point to
+their shared vertex (an *in-pair*).  The appendix problem: orient all
+edges to maximize the number of in-pairs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable, Sequence
+
+__all__ = [
+    "OneRoundInstance",
+    "count_in_pairs",
+    "count_out_pairs",
+    "brute_force_optimum",
+]
+
+
+class OneRoundInstance:
+    """A one-round rendezvous instance: a simple graph of size-2 agents."""
+
+    def __init__(self, edges: Iterable[tuple[int, int]]):
+        normalized = []
+        seen = set()
+        for a, b in edges:
+            if a == b:
+                raise ValueError(f"self-loop {a} is not a valid agent")
+            key = (min(a, b), max(a, b))
+            if key in seen:
+                raise ValueError(f"duplicate agent {key}")
+            seen.add(key)
+            normalized.append(key)
+        if not normalized:
+            raise ValueError("instance needs at least one edge")
+        self.edges: tuple[tuple[int, int], ...] = tuple(normalized)
+        self.vertices = sorted({v for e in self.edges for v in e})
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    def incident_pair_count(self) -> int:
+        """Number of unordered incident edge pairs (potential in-pairs)."""
+        degree: dict[int, int] = {}
+        for a, b in self.edges:
+            degree[a] = degree.get(a, 0) + 1
+            degree[b] = degree.get(b, 0) + 1
+        return sum(d * (d - 1) // 2 for d in degree.values())
+
+    def validate_orientation(self, choices: Sequence[int]) -> None:
+        if len(choices) != len(self.edges):
+            raise ValueError(
+                f"need {len(self.edges)} choices, got {len(choices)}"
+            )
+        for choice, edge in zip(choices, self.edges):
+            if choice not in edge:
+                raise ValueError(f"choice {choice} not an endpoint of {edge}")
+
+
+def count_in_pairs(instance: OneRoundInstance, choices: Sequence[int]) -> int:
+    """Pairs of agents that rendezvous: both chose their shared channel.
+
+    ``choices[i]`` is the channel edge ``i`` points to.  Counting is per
+    vertex: ``C(c_v, 2)`` where ``c_v`` is the number of edges choosing
+    ``v``.
+    """
+    instance.validate_orientation(choices)
+    chosen: dict[int, int] = {}
+    for choice in choices:
+        chosen[choice] = chosen.get(choice, 0) + 1
+    return sum(c * (c - 1) // 2 for c in chosen.values())
+
+
+def count_out_pairs(instance: OneRoundInstance, choices: Sequence[int]) -> int:
+    """Pairs of incident agents that both point *away* from the shared
+    vertex (the appendix's out-pairs)."""
+    instance.validate_orientation(choices)
+    away: dict[int, int] = {}
+    for choice, (a, b) in zip(choices, instance.edges):
+        other = b if choice == a else a
+        away[other] = away.get(other, 0) + 1
+    return sum(c * (c - 1) // 2 for c in away.values())
+
+
+def brute_force_optimum(instance: OneRoundInstance) -> tuple[int, tuple[int, ...]]:
+    """Exact maximum in-pairs by enumeration — small instances only."""
+    if instance.num_edges > 20:
+        raise ValueError("brute force limited to 20 edges")
+    best = -1
+    best_choices: tuple[int, ...] = ()
+    for mask in itertools.product((0, 1), repeat=instance.num_edges):
+        choices = tuple(
+            edge[bit] for edge, bit in zip(instance.edges, mask)
+        )
+        value = count_in_pairs(instance, choices)
+        if value > best:
+            best = value
+            best_choices = choices
+    return best, best_choices

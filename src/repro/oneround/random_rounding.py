@@ -1,0 +1,38 @@
+"""The 0.25-approximation baseline: orient every edge uniformly at random.
+
+A pair of incident edges both point at the shared vertex with probability
+1/4, so the expected number of in-pairs is a quarter of all incident
+pairs — hence at least a quarter of the optimum (paper Appendix).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.oneround.orientation import OneRoundInstance, count_in_pairs
+
+__all__ = ["random_orientation", "best_of_random"]
+
+
+def random_orientation(
+    instance: OneRoundInstance, seed: int = 0
+) -> tuple[int, ...]:
+    """One uniformly random orientation (choices per edge)."""
+    rng = random.Random(seed)
+    return tuple(edge[rng.randrange(2)] for edge in instance.edges)
+
+
+def best_of_random(
+    instance: OneRoundInstance, trials: int, seed: int = 0
+) -> tuple[int, tuple[int, ...]]:
+    """Best in-pair count over ``trials`` random orientations."""
+    if trials < 1:
+        raise ValueError("need at least one trial")
+    best = -1
+    best_choices: tuple[int, ...] = ()
+    for trial in range(trials):
+        choices = random_orientation(instance, seed=seed * 10_007 + trial)
+        value = count_in_pairs(instance, choices)
+        if value > best:
+            best, best_choices = value, choices
+    return best, best_choices

@@ -1,0 +1,54 @@
+"""Discrete-time cognitive-radio-network simulator.
+
+The paper's model (Section 2) as an executable substrate: slotted time,
+channel universe ``[n]``, agents with private channel subsets and
+arbitrary wake-up times, pairwise rendezvous detection, workload
+generators for the motivating scenarios, and an experiment runner used by
+the benchmark harness.
+"""
+
+from repro.sim.agent import ASLEEP, Agent
+from repro.sim.events import RendezvousEvent
+from repro.sim.handshake import ChirpAndListen, HandshakeResult
+from repro.sim.trace import render_trace
+from repro.sim.metrics import TTRStats, summarize_ttrs
+from repro.sim.network import Network, SimulationResult
+from repro.sim.runner import (
+    MeasuredPair,
+    measure_instance,
+    measure_pairwise,
+    shift_plan,
+)
+from repro.sim.workloads import (
+    Instance,
+    coalition_bands,
+    nested,
+    random_subsets,
+    single_overlap,
+    symmetric,
+    whitespace,
+)
+
+__all__ = [
+    "Agent",
+    "ASLEEP",
+    "RendezvousEvent",
+    "ChirpAndListen",
+    "HandshakeResult",
+    "render_trace",
+    "Network",
+    "SimulationResult",
+    "TTRStats",
+    "summarize_ttrs",
+    "Instance",
+    "random_subsets",
+    "single_overlap",
+    "symmetric",
+    "coalition_bands",
+    "whitespace",
+    "nested",
+    "MeasuredPair",
+    "measure_pairwise",
+    "measure_instance",
+    "shift_plan",
+]

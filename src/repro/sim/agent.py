@@ -1,0 +1,69 @@
+"""Agents: a channel set, a hopping schedule, and a wake-up time.
+
+The paper's model (Section 2): each agent runs its deterministic schedule
+from its own wake-up slot; before waking it accesses no channel.  Agents
+are *anonymous* — the schedule may depend only on the channel set — which
+the constructors here cannot enforce but the factory functions respect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.schedule import Schedule
+
+__all__ = ["Agent", "ASLEEP"]
+
+#: Sentinel channel value for slots before an agent's wake-up.
+ASLEEP = -1
+
+
+@dataclass
+class Agent:
+    """One cognitive radio in the simulation.
+
+    Attributes
+    ----------
+    name:
+        Display identifier (not visible to the algorithm — anonymity).
+    schedule:
+        The agent's channel-hopping schedule (local time).
+    wake_time:
+        Global slot at which the agent starts executing its schedule.
+    """
+
+    name: str
+    schedule: Schedule
+    wake_time: int = 0
+    channels: frozenset[int] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.wake_time < 0:
+            raise ValueError(f"wake_time must be nonnegative, got {self.wake_time}")
+        self.channels = self.schedule.channels
+
+    def channel_at_global(self, t: int) -> int:
+        """Channel at global slot ``t`` or :data:`ASLEEP` if not yet awake."""
+        if t < self.wake_time:
+            return ASLEEP
+        return self.schedule.channel_at(t - self.wake_time)
+
+    def materialize_global(self, start: int, stop: int) -> np.ndarray:
+        """Channels over global slots ``[start, stop)``, ASLEEP-padded."""
+        if stop < start:
+            raise ValueError(f"empty window: {start}..{stop}")
+        out = np.full(stop - start, ASLEEP, dtype=np.int64)
+        awake_from = max(start, self.wake_time)
+        if awake_from < stop:
+            local_start = awake_from - self.wake_time
+            local_stop = stop - self.wake_time
+            out[awake_from - start :] = self.schedule.materialize(
+                local_start, local_stop
+            )
+        return out
+
+    def overlaps(self, other: "Agent") -> bool:
+        """Whether the two agents share any channel (can ever rendezvous)."""
+        return bool(self.channels & other.channels)

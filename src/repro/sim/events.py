@@ -1,0 +1,26 @@
+"""Event records produced by the simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RendezvousEvent"]
+
+
+@dataclass(frozen=True, order=True)
+class RendezvousEvent:
+    """Two agents hopped on the same channel in the same slot.
+
+    ``time`` is the global slot; ``ttr`` is measured from the later
+    wake-up of the pair (the paper's asynchronous rendezvous time).
+    """
+
+    time: int
+    first: str
+    second: str
+    channel: int
+    ttr: int
+
+    def pair(self) -> tuple[str, str]:
+        """Canonical (sorted) agent-name pair."""
+        return tuple(sorted((self.first, self.second)))  # type: ignore[return-value]

@@ -1,0 +1,59 @@
+"""Summary metrics over simulation results and TTR samples."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+__all__ = ["TTRStats", "summarize_ttrs"]
+
+
+@dataclass(frozen=True)
+class TTRStats:
+    """Distribution summary of time-to-rendezvous samples."""
+
+    count: int
+    mean: float
+    median: float
+    p95: float
+    maximum: int
+    minimum: int
+
+    def as_row(self) -> dict[str, float | int]:
+        return {
+            "count": self.count,
+            "mean": round(self.mean, 2),
+            "median": self.median,
+            "p95": self.p95,
+            "max": self.maximum,
+            "min": self.minimum,
+        }
+
+
+def _percentile(ordered: list[int], q: float) -> float:
+    """Linear-interpolation percentile (``q`` in [0, 1]) of a sorted list."""
+    if not ordered:
+        raise ValueError("no samples")
+    if len(ordered) == 1:
+        return float(ordered[0])
+    position = q * (len(ordered) - 1)
+    lo = math.floor(position)
+    hi = math.ceil(position)
+    frac = position - lo
+    return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+
+def summarize_ttrs(samples: Iterable[int]) -> TTRStats:
+    """Summarize a collection of TTR samples."""
+    ordered = sorted(samples)
+    if not ordered:
+        raise ValueError("no TTR samples to summarize")
+    return TTRStats(
+        count=len(ordered),
+        mean=sum(ordered) / len(ordered),
+        median=_percentile(ordered, 0.5),
+        p95=_percentile(ordered, 0.95),
+        maximum=ordered[-1],
+        minimum=ordered[0],
+    )

@@ -1,0 +1,59 @@
+"""Channel-time trace rendering: see what the radios actually did.
+
+Renders a slot-by-slot diagram of a set of agents — one row per channel,
+one column per slot, agents as letters, ``*`` marking rendezvous slots —
+the kind of picture used to explain channel-hopping papers on a
+whiteboard.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.sim.agent import ASLEEP, Agent
+
+__all__ = ["render_trace"]
+
+_AGENT_SYMBOLS = "abcdefghijklmnopqrstuvwxyz"
+
+
+def render_trace(
+    agents: Sequence[Agent],
+    start: int,
+    stop: int,
+    channels: Sequence[int] | None = None,
+) -> str:
+    """ASCII channel-time diagram of ``agents`` over ``[start, stop)``.
+
+    Cells show the agent's symbol (a, b, c ... by position in the list);
+    when two or more agents share a channel in a slot the cell shows
+    ``*`` — a rendezvous.  Rows cover ``channels`` (default: every
+    channel any agent can use), top row = highest channel.
+    """
+    if stop <= start:
+        raise ValueError(f"empty window {start}..{stop}")
+    if len(agents) > len(_AGENT_SYMBOLS):
+        raise ValueError("too many agents to render")
+    if channels is None:
+        channels = sorted({c for a in agents for c in a.channels})
+    width = stop - start
+    occupancy: dict[int, list[str]] = {c: [" "] * width for c in channels}
+    for index, agent in enumerate(agents):
+        symbol = _AGENT_SYMBOLS[index]
+        for t in range(start, stop):
+            channel = agent.channel_at_global(t)
+            if channel == ASLEEP or channel not in occupancy:
+                continue
+            cell = occupancy[channel][t - start]
+            occupancy[channel][t - start] = symbol if cell == " " else "*"
+    label_width = max(len(str(c)) for c in channels)
+    lines = [
+        f"{str(c).rjust(label_width)} |" + "".join(occupancy[c])
+        for c in sorted(channels, reverse=True)
+    ]
+    legend = ", ".join(
+        f"{_AGENT_SYMBOLS[i]}={agent.name}" for i, agent in enumerate(agents)
+    )
+    axis = " " * label_width + " +" + "-" * width
+    footer = f"slots {start}..{stop - 1}; {legend}; * = rendezvous"
+    return "\n".join(lines + [axis, footer])

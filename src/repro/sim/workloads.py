@@ -1,0 +1,196 @@
+"""Workload generators — the scenarios the paper's introduction motivates.
+
+Each generator returns an :class:`Instance`: a universe size plus one
+channel set per agent (and metadata).  All generators are seeded and
+deterministic.
+
+Scenarios
+---------
+``random_subsets``
+    i.i.d. k-subsets of the universe — the standard evaluation workload.
+``single_overlap``
+    Adversarial pairs intersecting in exactly one channel — the regime of
+    the paper's ``Omega(|S_i||S_j|)`` lower bound (Theorem 7).
+``symmetric``
+    All agents share one channel set — the Section 3.2 special case.
+``coalition_bands``
+    The paper's military-coalition motivation: a huge spectrum pool where
+    each coalition member operates in a small band that guarantees
+    overlap with allies.
+``whitespace``
+    TV-whitespace style: incumbents occupy channels; each agent senses
+    the free channels with local (seeded) sensing asymmetry.
+``nested``
+    Chains ``S_1 ⊂ S_2 ⊂ ...`` — stresses the anonymity requirement
+    (different-size sets must still coordinate).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Instance",
+    "random_subsets",
+    "single_overlap",
+    "symmetric",
+    "coalition_bands",
+    "whitespace",
+    "nested",
+]
+
+
+@dataclass
+class Instance:
+    """A rendezvous problem instance: one channel set per agent."""
+
+    n: int
+    sets: list[frozenset[int]]
+    kind: str
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for s in self.sets:
+            if not s:
+                raise ValueError("instance contains an empty channel set")
+            if min(s) < 0 or max(s) >= self.n:
+                raise ValueError(f"set {sorted(s)} outside universe [0, {self.n})")
+
+    @property
+    def num_agents(self) -> int:
+        return len(self.sets)
+
+    def overlapping_pairs(self) -> list[tuple[int, int]]:
+        """Index pairs of agents whose sets intersect."""
+        return [
+            (i, j)
+            for i in range(len(self.sets))
+            for j in range(i + 1, len(self.sets))
+            if self.sets[i] & self.sets[j]
+        ]
+
+
+def random_subsets(
+    n: int, k: int, num_agents: int, seed: int = 0
+) -> Instance:
+    """Each agent draws a uniform ``k``-subset of ``[n]``."""
+    if not 1 <= k <= n:
+        raise ValueError(f"need 1 <= k <= n, got k={k}, n={n}")
+    rng = random.Random(seed)
+    sets = [frozenset(rng.sample(range(n), k)) for _ in range(num_agents)]
+    return Instance(n, sets, "random_subsets", {"k": k, "seed": seed})
+
+
+def single_overlap(n: int, k: int, l: int, seed: int = 0) -> Instance:
+    """Two agents with ``|A| = k``, ``|B| = l`` and ``|A ∩ B| = 1``.
+
+    The hard instance family of Theorem 7: asynchronous rendezvous takes
+    ``Omega(k l)`` on such pairs.
+    """
+    if k + l - 1 > n:
+        raise ValueError(f"need k + l - 1 <= n, got k={k}, l={l}, n={n}")
+    rng = random.Random(seed)
+    channels = rng.sample(range(n), k + l - 1)
+    common = channels[0]
+    a = frozenset(channels[:k])
+    b = frozenset([common] + channels[k:])
+    return Instance(n, [a, b], "single_overlap", {"k": k, "l": l, "seed": seed})
+
+
+def symmetric(n: int, k: int, num_agents: int, seed: int = 0) -> Instance:
+    """All agents share one uniform ``k``-subset (the symmetric case)."""
+    rng = random.Random(seed)
+    shared = frozenset(rng.sample(range(n), k))
+    return Instance(n, [shared] * num_agents, "symmetric", {"k": k, "seed": seed})
+
+
+def coalition_bands(
+    n: int,
+    band_width: int,
+    agents_per_band: int,
+    num_bands: int,
+    overlap: int = 2,
+    seed: int = 0,
+) -> Instance:
+    """Huge spectrum, small per-agent subsets inside overlapping bands.
+
+    Band ``b`` occupies channels ``[b * (band_width - overlap),
+    ... + band_width)``; consecutive bands share ``overlap`` channels so
+    that cross-band discovery is possible.  Each agent picks a random
+    subset of its band including at least one shared boundary channel.
+    """
+    if band_width <= overlap:
+        raise ValueError("band_width must exceed overlap")
+    stride = band_width - overlap
+    if stride * (num_bands - 1) + band_width > n:
+        raise ValueError("bands do not fit in the universe")
+    rng = random.Random(seed)
+    sets = []
+    for band in range(num_bands):
+        lo = band * stride
+        band_channels = list(range(lo, lo + band_width))
+        boundary = band_channels[:overlap] + band_channels[-overlap:]
+        for _ in range(agents_per_band):
+            size = rng.randint(2, max(2, band_width // 2))
+            picked = {rng.choice(boundary)}
+            picked.update(rng.sample(band_channels, size - 1))
+            sets.append(frozenset(picked))
+    return Instance(
+        n,
+        sets,
+        "coalition_bands",
+        {"band_width": band_width, "num_bands": num_bands, "seed": seed},
+    )
+
+
+def whitespace(
+    n: int,
+    num_agents: int,
+    incumbent_load: float = 0.4,
+    sensing_noise: float = 0.1,
+    seed: int = 0,
+) -> Instance:
+    """TV-whitespace availability with local sensing asymmetry.
+
+    A global incumbent occupancy pattern frees ``~(1 - incumbent_load)``
+    of the channels; each agent additionally misses each free channel
+    with probability ``sensing_noise`` (local fading), producing the
+    asymmetric sets the paper's model is built for.  Every agent is
+    guaranteed at least one channel (the globally clearest one).
+    """
+    if not 0 <= incumbent_load < 1:
+        raise ValueError("incumbent_load must be in [0, 1)")
+    rng = random.Random(seed)
+    free = [c for c in range(n) if rng.random() >= incumbent_load]
+    if not free:
+        free = [rng.randrange(n)]
+    anchor = free[0]
+    sets = []
+    for _ in range(num_agents):
+        sensed = {c for c in free if rng.random() >= sensing_noise}
+        sensed.add(anchor)
+        sets.append(frozenset(sensed))
+    return Instance(
+        n,
+        sets,
+        "whitespace",
+        {
+            "incumbent_load": incumbent_load,
+            "sensing_noise": sensing_noise,
+            "free_channels": len(free),
+            "seed": seed,
+        },
+    )
+
+
+def nested(n: int, sizes: list[int], seed: int = 0) -> Instance:
+    """A chain of nested channel sets ``S_1 ⊂ S_2 ⊂ ...``."""
+    if sorted(sizes) != sizes:
+        raise ValueError("sizes must be nondecreasing for a nested chain")
+    if sizes and sizes[-1] > n:
+        raise ValueError("largest set exceeds the universe")
+    rng = random.Random(seed)
+    order = rng.sample(range(n), sizes[-1]) if sizes else []
+    sets = [frozenset(order[:size]) for size in sizes]
+    return Instance(n, sets, "nested", {"sizes": sizes, "seed": seed})

@@ -1,0 +1,59 @@
+"""Tests for ASCII figures and tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.ascii_plots import format_table, series_plot, walk_plot
+
+
+class TestWalkPlot:
+    def test_figure_1a_string(self):
+        out = walk_plot("11010", title="Figure 1a")
+        assert "Figure 1a" in out
+        assert "11010" in out
+        assert "/" in out and "\\" in out
+
+    def test_character_counts_match_bits(self):
+        z = "110100"
+        out = walk_plot(z)
+        body = out.split("\n", 1)[1]
+        assert body.count("/") == z.count("1")
+        assert body.count("\\") == z.count("0")
+
+    def test_empty_string(self):
+        assert "(empty string)" in walk_plot("")
+
+    def test_single_rise(self):
+        out = walk_plot("10")
+        assert "/\\" in out
+
+
+class TestSeriesPlot:
+    def test_renders_points(self):
+        out = series_plot([1, 2, 3], [1, 4, 9], width=20, height=8, label="sq")
+        assert "sq" in out
+        assert out.count("*") >= 2  # distinct cells for distinct points
+
+    def test_constant_series(self):
+        out = series_plot([1, 2], [5, 5], width=10, height=4)
+        assert "*" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            series_plot([], [])
+        with pytest.raises(ValueError):
+            series_plot([1], [1, 2])
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        out = format_table(["name", "value"], [["a", 1], ["long-name", 22]])
+        lines = out.split("\n")
+        assert lines[0].startswith("name")
+        assert "---" in lines[1]
+        assert len(lines) == 4
+
+    def test_cell_stringification(self):
+        out = format_table(["x"], [[3.5]])
+        assert "3.5" in out

@@ -1,0 +1,52 @@
+"""Tests for Table 1 helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import PAPER_CLAIMS, scaling_exponent, table1
+
+
+class TestPaperClaims:
+    def test_all_table1_rows_present(self):
+        assert {"crseq", "jump-stay", "drds", "paper"} <= set(PAPER_CLAIMS)
+
+    def test_claims_match_paper(self):
+        assert PAPER_CLAIMS["crseq"]["asymmetric"] == "O(n^2)"
+        assert PAPER_CLAIMS["jump-stay"]["asymmetric"] == "O(n^3)"
+        assert PAPER_CLAIMS["paper"]["symmetric"].startswith("O(1)")
+
+
+class TestTable1:
+    def test_renders_measured(self):
+        measured = {
+            "paper": {8: 100, 16: 120},
+            "crseq": {8: 300, 16: 1200},
+        }
+        out = table1(measured, "asymmetric", [8, 16])
+        assert "n=8" in out and "n=16" in out
+        assert "O(n^2)" in out
+        assert "1200" in out
+
+    def test_missing_cells_dashed(self):
+        out = table1({"paper": {8: 5}}, "asymmetric", [8, 16])
+        assert "-" in out.split("\n")[-1]
+
+
+class TestScalingExponent:
+    def test_quadratic(self):
+        ns = [8, 16, 32, 64]
+        values = [n * n for n in ns]
+        assert abs(scaling_exponent(ns, values) - 2.0) < 1e-9
+
+    def test_cubic(self):
+        ns = [4, 8, 16]
+        values = [n**3 for n in ns]
+        assert abs(scaling_exponent(ns, values) - 3.0) < 1e-9
+
+    def test_flat(self):
+        assert abs(scaling_exponent([4, 8, 16], [7, 7, 7])) < 1e-9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            scaling_exponent([1], [1])

@@ -1,0 +1,93 @@
+"""Tests for the CRSEQ baseline (Shin-Yang-Kim)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.crseq import CRSEQSchedule, crseq_global_channel
+from repro.core.primes import smallest_prime_at_least
+from repro.core.verification import ttr_for_shift
+
+
+class TestGlobalSequence:
+    def test_stay_phase(self):
+        prime = 5
+        # Subsequence i, offsets 2P..3P-1 stay on channel i.
+        for i in range(prime):
+            for offset in range(2 * prime, 3 * prime):
+                assert crseq_global_channel(i * 3 * prime + offset, prime) == i
+
+    def test_jump_phase_triangular(self):
+        prime = 5
+        # Subsequence 2 (T_2 = 3): jump slots play (3 + j) mod 5.
+        base = 2 * 3 * prime
+        for j in range(2 * prime):
+            assert crseq_global_channel(base + j, prime) == (3 + j) % prime
+
+    def test_jump_phase_sweeps_all_channels(self):
+        prime = 7
+        for i in range(prime):
+            base = i * 3 * prime
+            seen = {crseq_global_channel(base + j, prime) for j in range(prime)}
+            assert seen == set(range(prime))
+
+    def test_period(self):
+        prime = 5
+        period = 3 * prime * prime
+        for t in range(0, 200):
+            assert crseq_global_channel(t, prime) == crseq_global_channel(
+                t + period, prime
+            )
+
+    def test_negative_slot_rejected(self):
+        with pytest.raises(ValueError):
+            crseq_global_channel(-1, 5)
+
+
+class TestSchedule:
+    def test_prime_selection(self):
+        assert CRSEQSchedule([0], 5).prime == 5
+        assert CRSEQSchedule([0], 6).prime == 7
+
+    def test_projection_into_available_set(self):
+        s = CRSEQSchedule([1, 4], 8)
+        window = s.materialize(0, s.period)
+        assert set(int(c) for c in window) <= {1, 4}
+
+    def test_period_is_3p_squared(self):
+        n = 11
+        s = CRSEQSchedule([0, 1], n)
+        assert s.period == 3 * s.prime * s.prime
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_guaranteed_rendezvous_sampled_shifts(self, seed):
+        rng = random.Random(seed)
+        n = 8
+        common = rng.randrange(n)
+        rest = [c for c in range(n) if c != common]
+        a_set = {common} | set(rng.sample(rest, rng.randint(0, 3)))
+        b_set = {common} | set(rng.sample(rest, rng.randint(0, 3)))
+        a, b = CRSEQSchedule(a_set, n), CRSEQSchedule(b_set, n)
+        bound = 2 * a.period  # O(n^2)-class guarantee with slack
+        shifts = list(range(0, 40)) + [rng.randrange(a.period) for _ in range(20)]
+        for shift in shifts:
+            assert ttr_for_shift(a, b, shift, bound) is not None, (
+                a_set,
+                b_set,
+                shift,
+            )
+
+    def test_symmetric_rendezvous(self):
+        n = 8
+        a = CRSEQSchedule([2, 5], n)
+        b = CRSEQSchedule([2, 5], n)
+        for shift in range(0, 3 * a.prime * 2):
+            assert ttr_for_shift(a, b, shift, 2 * a.period) is not None
+
+    def test_universe_validation(self):
+        with pytest.raises(ValueError):
+            CRSEQSchedule([8], 8)
+        with pytest.raises(ValueError):
+            CRSEQSchedule([], 8)

@@ -1,0 +1,99 @@
+"""Tests for the Jump-Stay baseline (Lin-Liu-Chu-Leung)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.jump_stay import JumpStaySchedule, jump_stay_global_channel
+from repro.core.verification import ttr_for_shift
+
+
+class TestGlobalSequence:
+    def test_stay_phase_plays_step(self):
+        prime = 5
+        # Round 0: step r = 1; stay slots (offsets 2P..3P-1) play 1.
+        for offset in range(2 * prime, 3 * prime):
+            assert jump_stay_global_channel(offset, prime) == 1
+
+    def test_jump_phase_linear(self):
+        prime = 5
+        # Round 1: step r = 2, start i = 0: jump j plays (0 + 2j) mod 5.
+        base = 3 * prime
+        for j in range(2 * prime):
+            assert jump_stay_global_channel(base + j, prime) == (2 * j) % prime
+
+    def test_step_cycles_through_all(self):
+        prime = 7
+        steps = set()
+        for round_index in range(prime - 1):
+            t = round_index * 3 * prime + 2 * prime  # a stay slot
+            steps.add(jump_stay_global_channel(t, prime))
+        assert steps == set(range(1, prime))
+
+    def test_jump_covers_all_channels_each_round(self):
+        prime = 7
+        for round_index in range(prime - 1):
+            base = round_index * 3 * prime
+            seen = {
+                jump_stay_global_channel(base + j, prime) for j in range(2 * prime)
+            }
+            assert seen == set(range(prime))
+
+    def test_negative_slot_rejected(self):
+        with pytest.raises(ValueError):
+            jump_stay_global_channel(-5, 5)
+
+
+class TestSchedule:
+    def test_prime_strictly_greater(self):
+        assert JumpStaySchedule([0], 5).prime == 7
+        assert JumpStaySchedule([0], 6).prime == 7
+
+    def test_projection(self):
+        s = JumpStaySchedule([3, 6], 8)
+        window = s.materialize(0, 10_000)
+        assert set(int(c) for c in window) <= {3, 6}
+
+    def test_period_is_cubic(self):
+        s = JumpStaySchedule([0, 1], 4)
+        p = s.prime
+        assert s.period == 3 * p * p * (p - 1)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_guaranteed_rendezvous_sampled_shifts(self, seed):
+        rng = random.Random(200 + seed)
+        n = 6
+        common = rng.randrange(n)
+        rest = [c for c in range(n) if c != common]
+        a_set = {common} | set(rng.sample(rest, rng.randint(0, 2)))
+        b_set = {common} | set(rng.sample(rest, rng.randint(0, 2)))
+        a, b = JumpStaySchedule(a_set, n), JumpStaySchedule(b_set, n)
+        bound = 2 * a.period
+        shifts = list(range(0, 30)) + [rng.randrange(a.period) for _ in range(10)]
+        for shift in shifts:
+            assert ttr_for_shift(a, b, shift, bound) is not None, (
+                a_set,
+                b_set,
+                shift,
+            )
+
+    def test_symmetric_meets_within_linear_time(self):
+        """JS's selling point: symmetric rendezvous in O(P) slots."""
+        n = 8
+        a = JumpStaySchedule([1, 4, 6], n)
+        b = JumpStaySchedule([1, 4, 6], n)
+        worst = 0
+        for shift in range(0, 60):
+            ttr = ttr_for_shift(a, b, shift, a.period)
+            assert ttr is not None
+            worst = max(worst, ttr)
+        # O(P) with small constant; generous envelope.
+        assert worst <= 9 * a.prime
+
+    def test_universe_validation(self):
+        with pytest.raises(ValueError):
+            JumpStaySchedule([-1], 8)
+        with pytest.raises(ValueError):
+            JumpStaySchedule([], 8)

@@ -1,0 +1,60 @@
+"""Tests for the naive randomized baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.random_schedule import RandomSchedule
+from repro.core.verification import ttr_for_shift
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            RandomSchedule([], 8)
+
+    def test_rejects_out_of_universe(self):
+        with pytest.raises(ValueError):
+            RandomSchedule([9], 8)
+
+    def test_rejects_bad_tape(self):
+        with pytest.raises(ValueError):
+            RandomSchedule([1], 8, tape_length=0)
+
+    def test_deterministic_given_seed(self):
+        a = RandomSchedule([1, 3, 5], 8, seed=42)
+        b = RandomSchedule([1, 3, 5], 8, seed=42)
+        assert list(a.materialize(0, 200)) == list(b.materialize(0, 200))
+
+    def test_different_seeds_differ(self):
+        a = RandomSchedule([1, 3, 5], 8, seed=1)
+        b = RandomSchedule([1, 3, 5], 8, seed=2)
+        assert list(a.materialize(0, 200)) != list(b.materialize(0, 200))
+
+    def test_only_own_channels(self):
+        s = RandomSchedule([2, 4], 8, seed=0)
+        assert set(np.unique(s.materialize(0, 1000))) <= {2, 4}
+
+
+class TestDistribution:
+    def test_roughly_uniform(self):
+        s = RandomSchedule([0, 1, 2, 3], 8, seed=7, tape_length=40_000)
+        window = s.materialize(0, 40_000)
+        counts = np.bincount(window, minlength=4)
+        assert counts.min() > 0.2 * 40_000  # each ~25%
+
+    def test_expected_ttr_scales_with_overlap(self):
+        """Sanity: random pairs with 1 common channel out of k each meet
+        in about k*l slots on average."""
+        n, k = 16, 4
+        trials = []
+        for seed in range(40):
+            a = RandomSchedule([0, 1, 2, 3], n, seed=seed)
+            b = RandomSchedule([0, 4, 5, 6], n, seed=1000 + seed)
+            ttr = ttr_for_shift(a, b, 0, 10_000)
+            assert ttr is not None
+            trials.append(ttr)
+        mean = sum(trials) / len(trials)
+        # Single shared channel, k = l = 4: geometric with p = 1/16.
+        assert 4 <= mean <= 64

@@ -1,0 +1,62 @@
+"""Tests for the baseline registry and the top-level build_schedule API."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.baselines import BASELINE_NAMES, build_baseline
+from repro.baselines.crseq import CRSEQSchedule
+from repro.baselines.drds import DRDSSchedule
+from repro.baselines.jump_stay import JumpStaySchedule
+from repro.baselines.random_schedule import RandomSchedule
+from repro.core.epoch import EpochSchedule
+from repro.core.symmetric import SymmetricWrappedSchedule
+
+
+class TestRegistry:
+    def test_names(self):
+        assert set(BASELINE_NAMES) == {"crseq", "jump-stay", "drds", "random"}
+
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("crseq", CRSEQSchedule),
+            ("jump-stay", JumpStaySchedule),
+            ("drds", DRDSSchedule),
+            ("random", RandomSchedule),
+        ],
+    )
+    def test_dispatch(self, name, cls):
+        schedule = build_baseline([1, 3], 8, name)
+        assert isinstance(schedule, cls)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            build_baseline([1], 8, "quantum")
+
+
+class TestBuildSchedule:
+    def test_default_is_paper(self):
+        assert isinstance(repro.build_schedule([1, 2], 8), EpochSchedule)
+
+    def test_paper_sync(self):
+        s = repro.build_schedule([1, 2], 8, algorithm="paper-sync")
+        assert isinstance(s, EpochSchedule)
+        assert not s.asynchronous
+
+    def test_paper_symmetric(self):
+        s = repro.build_schedule([1, 2], 8, algorithm="paper-symmetric")
+        assert isinstance(s, SymmetricWrappedSchedule)
+
+    @pytest.mark.parametrize("name", BASELINE_NAMES)
+    def test_baselines_via_top_level(self, name):
+        s = repro.build_schedule([1, 2], 8, algorithm=name)
+        assert s.channels == {1, 2}
+
+    def test_cross_algorithm_rendezvous_not_guaranteed_but_api_works(self):
+        """Different algorithms produce valid schedules over the right sets."""
+        for name in BASELINE_NAMES:
+            s = repro.build_schedule([2, 5, 7], 16, algorithm=name)
+            window = s.materialize(0, 500)
+            assert set(int(c) for c in window) <= {2, 5, 7}

@@ -1,0 +1,71 @@
+"""Tests for the Gabber-Galil expander."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.beacon.expander import MGGExpander
+
+
+class TestStructure:
+    def test_vertex_coordinates_roundtrip(self):
+        g = MGGExpander(5)
+        for v in range(g.num_vertices):
+            x, y = g.coordinates(v)
+            assert g.vertex(x, y) == v
+
+    def test_degree_eight(self):
+        g = MGGExpander(4)
+        for v in range(g.num_vertices):
+            neighbors = [g.neighbor(v, d) for d in range(8)]
+            assert len(neighbors) == 8
+            assert all(0 <= u < g.num_vertices for u in neighbors)
+
+    def test_direction_bounds(self):
+        g = MGGExpander(3)
+        with pytest.raises(ValueError):
+            g.neighbor(0, 8)
+        with pytest.raises(ValueError):
+            g.coordinates(g.num_vertices)
+
+    def test_small_side_rejected(self):
+        with pytest.raises(ValueError):
+            MGGExpander(1)
+
+    def test_walk_composition(self):
+        g = MGGExpander(7)
+        path = [0, 3, 5, 2, 7, 1]
+        v = g.walk(11, path)
+        u = 11
+        for d in path:
+            u = g.neighbor(u, d)
+        assert v == u
+
+
+class TestExpansion:
+    @pytest.mark.parametrize("m", [2, 3, 5, 8])
+    def test_connected_and_spectral_gap(self, m):
+        """The normalized second eigenvalue must be bounded away from 1.
+        Gabber-Galil proves lambda_2/d <= (5 sqrt(2))/8 ~ 0.884 in the
+        limit; small toruses are comfortably below 0.99."""
+        g = MGGExpander(m)
+        assert g.second_eigenvalue() < 0.95
+
+    def test_walk_mixes(self):
+        """Empirical mixing: the distribution of walk endpoints from a
+        fixed start approaches uniform."""
+        import collections
+        import random
+
+        g = MGGExpander(5)
+        rng = random.Random(0)
+        counts = collections.Counter()
+        trials = 4000
+        for _ in range(trials):
+            v = 0
+            for _ in range(20):
+                v = g.neighbor(v, rng.randrange(8))
+            counts[v] += 1
+        # Every vertex reached, none dominating.
+        assert len(counts) == g.num_vertices
+        assert max(counts.values()) < 5 * trials / g.num_vertices

@@ -1,0 +1,123 @@
+"""Tests for the min-wise permutation family (paper Definition 1)."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.beacon.minwise import (
+    DEFAULT_DEGREE,
+    MinwisePermutation,
+    field_prime,
+    permutation_from_word,
+    seed_bits_needed,
+)
+
+
+class TestFieldPrime:
+    def test_at_least_n(self):
+        for n in (2, 5, 16, 100):
+            assert field_prime(n) >= n
+
+    def test_small_universe_floor(self):
+        assert field_prime(1) == 2
+
+
+class TestMinwisePermutation:
+    def test_ranks_are_distinct(self):
+        perm = MinwisePermutation((3, 1, 4), 16)
+        ranks = {perm.rank(x) for x in range(16)}
+        assert len(ranks) == 16
+
+    def test_rank_bounds_checked(self):
+        perm = MinwisePermutation((1,), 8)
+        with pytest.raises(ValueError):
+            perm.rank(8)
+
+    def test_argmin_in_set(self):
+        perm = MinwisePermutation((5, 2), 16)
+        channels = (3, 7, 11)
+        assert perm.argmin(channels) in channels
+
+    def test_argmin_is_min_rank(self):
+        perm = MinwisePermutation((5, 2, 9), 16)
+        channels = (3, 7, 11, 14)
+        best = perm.argmin(channels)
+        assert all(perm.rank(best) <= perm.rank(c) for c in channels)
+
+    def test_empty_coefficients_rejected(self):
+        with pytest.raises(ValueError):
+            MinwisePermutation((), 8)
+
+
+class TestFromWord:
+    def test_deterministic(self):
+        a = permutation_from_word(0xDEADBEEF, 16)
+        b = permutation_from_word(0xDEADBEEF, 16)
+        assert a.coefficients == b.coefficients
+
+    def test_seed_bits_accounting(self):
+        n = 16
+        bits = seed_bits_needed(n)
+        assert bits == DEFAULT_DEGREE * field_prime(n).bit_length()
+
+    def test_distinct_words_distinct_permutations_usually(self):
+        perms = {
+            permutation_from_word(w, 16).coefficients for w in range(0, 4000, 37)
+        }
+        assert len(perms) > 50
+
+
+class TestMinwiseProperty:
+    """Statistical check of Definition 1 at eps = 1/2.
+
+    For random members of the family, every element of a fixed set should
+    be the argmin with probability >= (1 - eps)/|A| = 1/(2|A|).
+    """
+
+    @pytest.mark.parametrize("subset", [(0, 5, 9), (1, 2, 3, 11, 13), (4, 15)])
+    def test_every_element_wins_often_enough(self, subset):
+        n = 16
+        rng = random.Random(99)
+        trials = 3000
+        wins = {a: 0 for a in subset}
+        for _ in range(trials):
+            word = rng.getrandbits(seed_bits_needed(n))
+            perm = permutation_from_word(word, n)
+            wins[perm.argmin(subset)] += 1
+        threshold = trials / (2 * len(subset))
+        for a, count in wins.items():
+            assert count >= 0.8 * threshold, (a, count, threshold)
+
+    def test_pairwise_union_argmin_probability(self):
+        """Paper equation (8): the common channel is the global argmin of
+        the union with probability >= 1/(2(|A| + |B|))."""
+        n = 16
+        a_set = (1, 4, 7)
+        b_set = (7, 9)
+        union = tuple(sorted(set(a_set) | set(b_set)))
+        rng = random.Random(123)
+        trials = 4000
+        hits = 0
+        for _ in range(trials):
+            word = rng.getrandbits(seed_bits_needed(n))
+            perm = permutation_from_word(word, n)
+            if perm.argmin(union) == 7:
+                hits += 1
+        assert hits >= 0.8 * trials / (2 * (len(a_set) + len(b_set)))
+
+    def test_exhaustive_family_balance_small(self):
+        """Over *all* degree-2 polynomials on a tiny field, each element
+        of a set wins a nonvanishing fraction (structural sanity)."""
+        n = 5
+        p = field_prime(n)
+        subset = (0, 2, 4)
+        wins = {a: 0 for a in subset}
+        for c0, c1 in itertools.product(range(p), repeat=2):
+            perm = MinwisePermutation((c0, c1), n)
+            wins[perm.argmin(subset)] += 1
+        total = p * p
+        for count in wins.values():
+            assert count >= total / (2 * len(subset))

@@ -1,0 +1,116 @@
+"""Tests for the Section 5 beacon protocols."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.beacon.minwise import seed_bits_needed
+from repro.beacon.protocols import (
+    AmplifiedBeaconProtocol,
+    SimpleBeaconProtocol,
+    beacon_first_meeting,
+)
+from repro.beacon.source import BeaconSource
+
+
+class TestSimpleProtocol:
+    def test_hops_within_set(self):
+        p = SimpleBeaconProtocol([2, 7, 11], 16, BeaconSource(1))
+        hops = {p.channel_at_global(t) for t in range(500)}
+        assert hops <= {2, 7, 11}
+
+    def test_same_beacon_same_permutations(self):
+        """Anonymity + shared beacon: identical sets behave identically."""
+        a = SimpleBeaconProtocol([2, 7], 16, BeaconSource(5))
+        b = SimpleBeaconProtocol([2, 7], 16, BeaconSource(5))
+        assert [a.channel_at_global(t) for t in range(300)] == [
+            b.channel_at_global(t) for t in range(300)
+        ]
+
+    def test_warm_up_plays_min(self):
+        p = SimpleBeaconProtocol([4, 9], 16, BeaconSource(2))
+        for t in range(p.window):
+            assert p.channel_at_global(t) == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimpleBeaconProtocol([], 8, BeaconSource(0))
+        with pytest.raises(ValueError):
+            SimpleBeaconProtocol([8], 8, BeaconSource(0))
+        p = SimpleBeaconProtocol([1], 8, BeaconSource(0))
+        with pytest.raises(ValueError):
+            p.channel_at_global(-1)
+
+    def test_hops_change_across_windows(self):
+        p = SimpleBeaconProtocol(list(range(8)), 8, BeaconSource(3))
+        window = p.window
+        hops = {p.channel_at_global(window * w) for w in range(1, 30)}
+        assert len(hops) > 1
+
+
+class TestAmplifiedProtocol:
+    def test_hops_within_set(self):
+        p = AmplifiedBeaconProtocol([1, 5, 6], 16, BeaconSource(4))
+        hops = {p.channel_at_global(t) for t in range(500)}
+        assert hops <= {1, 5, 6}
+
+    def test_burn_in(self):
+        p = AmplifiedBeaconProtocol([3, 9], 16, BeaconSource(4))
+        assert p.burn_in == seed_bits_needed(16)
+        for t in range(p.burn_in):
+            assert p.channel_at_global(t) == 3
+
+    def test_permutation_refresh_every_three_slots(self):
+        p = AmplifiedBeaconProtocol(list(range(8)), 8, BeaconSource(6))
+        start = p.burn_in
+        hops = [p.channel_at_global(t) for t in range(start, start + 300)]
+        # Within a 3-slot step the hop is constant.
+        for i in range(0, 297, 3):
+            assert hops[i] == hops[i + 1] == hops[i + 2]
+        assert len(set(hops)) > 1
+
+
+class TestRendezvous:
+    def test_simple_protocol_meets(self):
+        beacon = BeaconSource(8)
+        a = SimpleBeaconProtocol([1, 4, 7], 16, beacon)
+        b = SimpleBeaconProtocol([7, 9], 16, beacon)
+        ttr = beacon_first_meeting(a, b, 0, 37, horizon=20_000)
+        assert ttr is not None
+
+    def test_amplified_protocol_meets(self):
+        beacon = BeaconSource(9)
+        a = AmplifiedBeaconProtocol([1, 4, 7], 16, beacon)
+        b = AmplifiedBeaconProtocol([7, 9], 16, beacon)
+        ttr = beacon_first_meeting(a, b, 5, 0, horizon=20_000)
+        assert ttr is not None
+
+    def test_meeting_channel_in_intersection(self):
+        beacon = BeaconSource(10)
+        a = SimpleBeaconProtocol([2, 5], 16, beacon)
+        b = SimpleBeaconProtocol([5, 11], 16, beacon)
+        start = 0
+        for t in range(40_000):
+            if a.channel_at_global(t) == b.channel_at_global(t):
+                assert a.channel_at_global(t) == 5
+                break
+        else:
+            pytest.fail("no rendezvous found")
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_amplified_ttr_scales_linearly(self, seed):
+        """The headline bound: O(|S_i| + |S_j| + log n) slots (bits)."""
+        n = 32
+        beacon = BeaconSource(100 + seed)
+        a = AmplifiedBeaconProtocol(list(range(0, 8)), n, beacon)
+        b = AmplifiedBeaconProtocol(list(range(7, 15)), n, beacon)
+        ttr = beacon_first_meeting(a, b, 0, 0, horizon=30_000)
+        assert ttr is not None
+        # Generous whp envelope: c * (s_i + s_j + log n) with c ~ 60.
+        assert ttr <= 60 * (8 + 8 + 5) + a.burn_in
+
+    def test_disjoint_sets_never_meet(self):
+        beacon = BeaconSource(11)
+        a = SimpleBeaconProtocol([1, 2], 16, beacon)
+        b = SimpleBeaconProtocol([8, 9], 16, beacon)
+        assert beacon_first_meeting(a, b, 0, 0, horizon=3000) is None

@@ -1,0 +1,50 @@
+"""Tests for the beacon bit source."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.beacon.source import BeaconSource
+
+
+class TestBeaconSource:
+    def test_deterministic(self):
+        a, b = BeaconSource(7), BeaconSource(7)
+        assert a.bits(0, 100) == b.bits(0, 100)
+
+    def test_seed_matters(self):
+        assert BeaconSource(1).bits(0, 64) != BeaconSource(2).bits(0, 64)
+
+    def test_random_access_matches_stream(self):
+        src = BeaconSource(3)
+        stream = src.bits(10, 20)
+        assert stream == [src.bit(10 + i) for i in range(20)]
+
+    def test_bits_are_binary(self):
+        assert set(BeaconSource(5).bits(0, 256)) <= {0, 1}
+
+    def test_roughly_balanced(self):
+        bits = BeaconSource(11).bits(0, 4096)
+        ones = sum(bits)
+        assert 1700 <= ones <= 2400  # ~50% with generous slack
+
+    def test_no_simple_periodicity(self):
+        bits = BeaconSource(13).bits(0, 512)
+        for period in (1, 2, 3, 4, 8):
+            assert bits[period:] != bits[:-period]
+
+    def test_word_packing(self):
+        src = BeaconSource(17)
+        word = src.word(5, 8)
+        expected = 0
+        for t in range(5, 13):
+            expected = (expected << 1) | src.bit(t)
+        assert word == expected
+
+    def test_array_matches_bits(self):
+        src = BeaconSource(19)
+        assert list(src.array(3, 40)) == src.bits(3, 40)
+
+    def test_negative_slot_rejected(self):
+        with pytest.raises(ValueError):
+            BeaconSource(0).bit(-1)

@@ -1,0 +1,50 @@
+"""Shared pytest fixtures and hypothesis strategies."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, settings
+from hypothesis import strategies as st
+
+# One profile for the whole suite: property tests must be deterministic-ish
+# in CI duration, and schedule verification can be slow per example.
+settings.register_profile(
+    "repro",
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+    derandomize=True,
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """Deterministic RNG for sampled (non-hypothesis) randomized tests."""
+    return random.Random(0xC0FFEE)
+
+
+def bits(min_size: int = 0, max_size: int = 24) -> st.SearchStrategy[str]:
+    """Strategy producing binary strings."""
+    return st.text(alphabet="01", min_size=min_size, max_size=max_size)
+
+
+def even_bits(min_size: int = 0, max_size: int = 24) -> st.SearchStrategy[str]:
+    """Strategy producing even-length binary strings."""
+    return bits(min_size, max_size).filter(lambda s: len(s) % 2 == 0)
+
+
+def balanced_bits(max_half: int = 10) -> st.SearchStrategy[str]:
+    """Strategy producing balanced binary strings (equal 0s and 1s)."""
+
+    def build(pair: tuple[int, random.Random]) -> str:
+        half, shuffler = pair
+        symbols = ["0"] * half + ["1"] * half
+        shuffler.shuffle(symbols)
+        return "".join(symbols)
+
+    return st.tuples(
+        st.integers(min_value=0, max_value=max_half), st.randoms(use_true_random=False)
+    ).map(build)

@@ -1,0 +1,211 @@
+"""Unit and property tests for the bit-string walk toolkit."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import bitstrings as bs
+from tests.conftest import balanced_bits, bits
+
+
+class TestValidateBits:
+    def test_accepts_binary(self):
+        assert bs.validate_bits("0101") == "0101"
+
+    def test_accepts_empty(self):
+        assert bs.validate_bits("") == ""
+
+    def test_rejects_other_characters(self):
+        with pytest.raises(ValueError, match="not a binary string"):
+            bs.validate_bits("01x0")
+
+
+class TestWalkHeights:
+    def test_paper_figure_1a_sequence(self):
+        # Figure 1a: the graph of 11010 climbs to 2, dips, ends at +1.
+        assert bs.walk_heights("11010") == [0, 1, 2, 1, 2, 1]
+
+    def test_paper_figure_1b_balanced_sequence(self):
+        # Figure 1b: 110001 is balanced; the walk returns to zero.
+        heights = bs.walk_heights("110001")
+        assert heights[0] == 0
+        assert heights[-1] == 0
+
+    def test_empty_string(self):
+        assert bs.walk_heights("") == [0]
+
+    def test_length_is_input_plus_one(self):
+        assert len(bs.walk_heights("0011")) == 5
+
+
+class TestBalanced:
+    @pytest.mark.parametrize("z", ["", "01", "10", "110001", "0101"])
+    def test_balanced_examples(self, z):
+        assert bs.is_balanced(z)
+
+    @pytest.mark.parametrize("z", ["0", "1", "110", "1110001"])
+    def test_unbalanced_examples(self, z):
+        assert not bs.is_balanced(z)
+
+    @given(bits())
+    def test_balanced_iff_walk_closes(self, z):
+        assert bs.is_balanced(z) == (bs.walk_heights(z)[-1] == 0 and len(z) % 2 == 0)
+
+
+class TestCatalan:
+    @pytest.mark.parametrize("z", ["", "10", "1100", "110100"])
+    def test_catalan_examples(self, z):
+        assert bs.is_catalan(z)
+
+    @pytest.mark.parametrize("z", ["01", "0110", "100101"[::-1]])
+    def test_non_catalan_examples(self, z):
+        assert not bs.is_catalan(z)
+
+    def test_strictly_catalan_requires_interior_positive(self):
+        assert bs.is_strictly_catalan("1100")
+        assert not bs.is_strictly_catalan("1010")  # touches zero at i=2
+
+    def test_wrapping_catalan_makes_strict(self):
+        # Paper remark: if z is Catalan then 1 z 0 is strictly Catalan.
+        for z in ["", "10", "1010", "110010"]:
+            assert bs.is_catalan(z)
+            assert bs.is_strictly_catalan("1" + z + "0")
+
+    @given(balanced_bits())
+    def test_strictly_catalan_implies_catalan(self, z):
+        if bs.is_strictly_catalan(z):
+            assert bs.is_catalan(z)
+
+
+class TestRotation:
+    def test_rotate_forward(self):
+        assert bs.rotate("0110", 1) == "1100"
+
+    def test_rotate_by_zero_and_full(self):
+        assert bs.rotate("0110", 0) == "0110"
+        assert bs.rotate("0110", 4) == "0110"
+
+    def test_rotate_negative_is_inverse(self):
+        assert bs.rotate(bs.rotate("011010", 2), -2) == "011010"
+
+    def test_rotate_empty(self):
+        assert bs.rotate("", 3) == ""
+
+    @given(bits(min_size=1), st.integers(-50, 50))
+    def test_rotation_preserves_weight(self, z, shift):
+        assert bs.weight(bs.rotate(z, shift)) == bs.weight(z)
+
+
+class TestComplement:
+    def test_complement(self):
+        assert bs.complement("0110") == "1001"
+
+    @given(bits())
+    def test_involution(self, z):
+        assert bs.complement(bs.complement(z)) == z
+
+    @given(bits())
+    def test_weight_flips(self, z):
+        assert bs.weight(bs.complement(z)) == len(z) - bs.weight(z)
+
+
+class TestCatalanRotationIndex:
+    def test_requires_balanced(self):
+        with pytest.raises(ValueError, match="balanced"):
+            bs.catalan_rotation_index("1")
+
+    def test_already_catalan_gives_zero(self):
+        assert bs.catalan_rotation_index("1100") == 0
+
+    @given(balanced_bits(max_half=8))
+    def test_rotation_is_catalan(self, z):
+        c = bs.catalan_rotation_index(z)
+        assert 0 <= c < max(len(z), 1)
+        assert bs.is_catalan(bs.rotate(z, c))
+
+
+class TestMaximaMinima:
+    def test_strictly_catalan_is_one_minimal_at_zero(self):
+        # Paper remark: strictly Catalan => 1-minimal, minimum at i = 0.
+        for z in ["10", "1100", "110100", "11011000"]:
+            assert bs.is_strictly_catalan(z)
+            assert bs.minima_positions(z) == [0]
+
+    def test_two_maximal_example(self):
+        # 110100: heights 0,1,2,1,2,1 at cyclic positions 0..5 -> max 2 twice.
+        assert bs.maxima_count("110100") == 2
+
+    def test_empty_string_counts(self):
+        assert bs.maxima_count("") == 0
+        assert bs.minima_count("") == 0
+
+    @given(balanced_bits(max_half=8), st.integers(0, 40))
+    def test_counts_rotation_invariant_for_balanced(self, z, shift):
+        # The paper's remark: t-maximality is preserved by all shifts
+        # (this needs balance, which closes the walk).
+        rotated = bs.rotate(z, shift)
+        assert bs.maxima_count(rotated) == bs.maxima_count(z)
+        assert bs.minima_count(rotated) == bs.minima_count(z)
+
+    @given(balanced_bits(max_half=8))
+    def test_complement_swaps_maxima_and_minima(self, z):
+        assert bs.maxima_count(bs.complement(z)) == bs.minima_count(z)
+        assert bs.minima_count(bs.complement(z)) == bs.maxima_count(z)
+
+
+class TestIntCoding:
+    def test_encode_fixed_width(self):
+        assert bs.encode_int(5, 4) == "0101"
+
+    def test_encode_zero_width_zero(self):
+        assert bs.encode_int(0, 0) == ""
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError, match="does not fit"):
+            bs.encode_int(4, 2)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="negative"):
+            bs.encode_int(-1, 4)
+
+    @given(st.integers(0, 10_000))
+    def test_round_trip(self, value):
+        width = bs.int_bit_width(value)
+        assert bs.decode_int(bs.encode_int(value, width)) == value
+
+    @given(st.integers(0, 500), st.integers(0, 500))
+    def test_monotone_dominance_property(self, a, b):
+        # Theorem 1 uses: a < b => some coordinate has 0 in a_2, 1 in b_2.
+        if a == b:
+            return
+        lo, hi = min(a, b), max(a, b)
+        width = bs.int_bit_width(hi)
+        lo_bits = bs.encode_int(lo, width)
+        hi_bits = bs.encode_int(hi, width)
+        assert any(x == "0" and y == "1" for x, y in zip(lo_bits, hi_bits))
+
+
+class TestWidthHelpers:
+    def test_log_sharp_matches_definition(self):
+        import math
+
+        for n in range(1, 600):
+            assert bs.log_sharp(n) == math.ceil(math.log2(n))
+
+    def test_log_sharp_rejects_zero(self):
+        with pytest.raises(ValueError):
+            bs.log_sharp(0)
+
+    def test_int_bit_width_floor_one(self):
+        assert bs.int_bit_width(0) == 1
+
+    def test_even_width(self):
+        assert bs.even_width(3) == 4
+        assert bs.even_width(4) == 4
+        assert bs.even_width(0) == 0
+
+    def test_even_width_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bs.even_width(-1)

@@ -1,0 +1,106 @@
+"""Tests for the closed-form bound formulas — and that reality obeys them."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import bounds
+from repro.core.epoch import EpochSchedule, rendezvous_bound
+from repro.core.pairwise import async_period, pair_schedule_async
+from repro.core.symmetric import SymmetricWrappedSchedule
+from repro.core.verification import ttr_for_shift, verify_guarantee
+
+
+class TestFormulas:
+    def test_theorem1_matches_period(self):
+        for n in (4, 64, 2**16):
+            assert bounds.theorem1_async_bound(n) == async_period(n)
+
+    def test_theorem3_matches_schedule_bound(self):
+        n = 32
+        a = EpochSchedule([1, 2, 3], n)
+        b = EpochSchedule([3, 9, 11, 14], n)
+        assert bounds.theorem3_async_bound(3, 4, n) == rendezvous_bound(a, b)
+
+    def test_theorem3_symmetric_in_arguments(self):
+        assert bounds.theorem3_async_bound(3, 5, 64) == bounds.theorem3_async_bound(
+            5, 3, 64
+        )
+
+    def test_sync_cheaper_than_async(self):
+        assert bounds.theorem3_sync_bound(4, 4, 64) < bounds.theorem3_async_bound(
+            4, 4, 64
+        )
+
+    def test_wrapped_pair_is_12x_plus_slack(self):
+        base = bounds.theorem3_async_bound(2, 3, 32)
+        assert bounds.wrapped_pair_bound(2, 3, 32) == 12 * base + 24
+
+    def test_baseline_envelopes(self):
+        assert bounds.crseq_bound(8) == 3 * 11 * 11
+        assert bounds.jump_stay_bound(8) == 3 * 11 * 11 * 10
+        assert bounds.drds_bound(8) == 45 * 64 + 64
+
+    def test_randomized_expectation(self):
+        assert bounds.randomized_expected_ttr(2, 2, overlap=1) == 3
+        assert bounds.randomized_expected_ttr(1, 1, overlap=1) == 0
+
+    def test_randomized_whp_positive(self):
+        assert bounds.randomized_whp_bound(3, 3, 64) > 0
+
+    def test_zero_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            bounds.randomized_expected_ttr(2, 2, overlap=0)
+        with pytest.raises(ValueError):
+            bounds.randomized_whp_bound(2, 2, 8, overlap=0)
+
+
+class TestBoundsHoldInPractice:
+    def test_theorem1_bound_is_exact_guarantee(self):
+        n = 16
+        a = pair_schedule_async(2, 9, n)
+        b = pair_schedule_async(9, 14, n)
+        ok, worst, _ = verify_guarantee(a, b, bounds.theorem1_async_bound(n))
+        assert ok
+        assert worst < bounds.theorem1_async_bound(n)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_theorem3_bound_holds_on_random_instances(self, seed):
+        rng = random.Random(seed)
+        n = 16
+        k, l = rng.randint(1, 5), rng.randint(1, 5)
+        common = rng.randrange(n)
+        rest = [c for c in range(n) if c != common]
+        a_set = {common} | set(rng.sample(rest, k - 1))
+        b_set = {common} | set(rng.sample(rest, l - 1))
+        a, b = EpochSchedule(a_set, n), EpochSchedule(b_set, n)
+        bound = bounds.theorem3_async_bound(len(a_set), len(b_set), n)
+        for shift in [0, 1, 17, 1000, rng.randrange(10**6)]:
+            ttr = ttr_for_shift(a, b, shift, bound + 1)
+            assert ttr is not None and ttr <= bound
+
+    def test_symmetric_constant_holds(self):
+        n = 64
+        s1 = SymmetricWrappedSchedule(EpochSchedule([5, 9, 40], n))
+        s2 = SymmetricWrappedSchedule(EpochSchedule([5, 9, 40], n))
+        for shift in range(0, 100, 7):
+            ttr = ttr_for_shift(s1, s2, shift, bounds.symmetric_wrapper_bound() + 1)
+            assert ttr is not None
+            assert ttr <= bounds.symmetric_wrapper_bound()
+
+    def test_randomized_expectation_roughly_matches(self):
+        from repro.baselines.random_schedule import RandomSchedule
+
+        n, k = 16, 3
+        samples = []
+        for seed in range(60):
+            a = RandomSchedule([0, 1, 2], n, seed=seed)
+            b = RandomSchedule([0, 4, 5], n, seed=900 + seed)
+            ttr = ttr_for_shift(a, b, 0, 10_000)
+            assert ttr is not None
+            samples.append(ttr)
+        mean = sum(samples) / len(samples)
+        expected = bounds.randomized_expected_ttr(k, k, overlap=1)
+        assert 0.5 * expected <= mean <= 2.0 * expected

@@ -1,0 +1,159 @@
+"""Tests for the U / M / R maps of Theorem 1."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import catalan, knuth
+from repro.core.bitstrings import (
+    complement,
+    is_balanced,
+    is_catalan,
+    is_strictly_catalan,
+    maxima_count,
+    rotate,
+)
+from tests.conftest import balanced_bits, even_bits
+
+
+class TestUTransform:
+    def test_requires_balanced(self):
+        with pytest.raises(ValueError, match="balanced"):
+            catalan.u_transform("10 1".replace(" ", "1"))
+
+    @given(balanced_bits(max_half=8))
+    def test_output_catalan_and_balanced(self, z):
+        out = catalan.u_transform(z)
+        assert is_catalan(out)
+        assert is_balanced(out)
+
+    @given(balanced_bits(max_half=8))
+    def test_length_formula(self, z):
+        assert len(catalan.u_transform(z)) == catalan.u_length(len(z))
+
+    @given(balanced_bits(max_half=8))
+    def test_round_trip(self, z):
+        assert catalan.u_inverse(catalan.u_transform(z), len(z)) == z
+
+    def test_inverse_rejects_wrong_length(self):
+        with pytest.raises(ValueError, match="expected"):
+            catalan.u_inverse("10", 8)
+
+    def test_inverse_rejects_corrupt_padding(self):
+        out = catalan.u_transform("0110")
+        corrupt = "0" + out[1:] if out[0] == "1" else "1" + out[1:]
+        # Corrupting the rotated body may not hit the padding; corrupt the
+        # ramp region explicitly instead.
+        body = 4
+        corrupt = out[:body] + ("0" + out[body + 1 :])
+        with pytest.raises(ValueError):
+            catalan.u_inverse(corrupt, 4)
+
+
+class TestMTransform:
+    def test_inserts_marker_at_first_max(self):
+        # 1100: walk 0,1,2,1,0; first max at position 2.
+        assert catalan.m_transform("1100") == "11" + "1010" + "00"
+
+    def test_two_maximal_after_transform(self):
+        for z in ["10", "1100", "110100", "111000"]:
+            assert maxima_count(catalan.m_transform(z)) == 2
+
+    def test_preserves_strict_catalan(self):
+        for z in ["10", "1100", "110100"]:
+            assert is_strictly_catalan(z)
+            assert is_strictly_catalan(catalan.m_transform(z))
+
+    def test_requires_nonempty(self):
+        with pytest.raises(ValueError):
+            catalan.m_transform("")
+
+    @given(balanced_bits(max_half=8).filter(is_strictly_catalan).filter(len))
+    def test_round_trip_on_strictly_catalan(self, z):
+        assert catalan.m_inverse(catalan.m_transform(z)) == z
+
+    def test_inverse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            catalan.m_inverse("0000")
+
+
+class TestRMap:
+    @given(even_bits(max_size=12))
+    def test_image_has_all_three_properties(self, z):
+        out = catalan.r_map(z)
+        assert is_balanced(out)
+        assert is_strictly_catalan(out)
+        assert maxima_count(out) == 2
+
+    @given(even_bits(max_size=12))
+    def test_round_trip(self, z):
+        assert catalan.r_inverse(catalan.r_map(z), len(z)) == z
+
+    @given(even_bits(max_size=12))
+    def test_length_formula(self, z):
+        assert len(catalan.r_map(z)) == catalan.r_length(len(z))
+
+    def test_odd_input_rejected(self):
+        with pytest.raises(ValueError, match="even"):
+            catalan.r_map("101")
+
+    def test_injective_on_fixed_width(self):
+        width = 6
+        images = {catalan.r_map(format(v, f"0{width}b")) for v in range(1 << width)}
+        assert len(images) == 1 << width
+
+    def test_fixed_width_images_share_length(self):
+        width = 6
+        lengths = {len(catalan.r_map(format(v, f"0{width}b"))) for v in range(1 << width)}
+        assert len(lengths) == 1
+
+    def test_r_length_growth_is_log_log_shaped(self):
+        # Input width ~ log log n; output adds only lower-order terms.
+        assert catalan.r_length(2) <= 40
+        assert catalan.r_length(6) <= 56
+        assert catalan.r_length(10) - catalan.r_length(2) <= 16
+
+
+class TestRendezvousStringProperties:
+    """The three structural lemmas the rendezvous proof rests on."""
+
+    @staticmethod
+    def _images(width: int = 4) -> list[str]:
+        return [catalan.r_map(format(v, f"0{width}b")) for v in range(1 << width)]
+
+    def test_no_image_equals_nontrivial_rotation_of_any_image(self):
+        images = self._images()
+        for z in images:
+            for other in images:
+                for shift in range(1, len(other)):
+                    assert z != rotate(other, shift)
+
+    def test_no_image_equals_complement_of_any_rotation(self):
+        images = self._images()
+        for z in images:
+            for other in images:
+                for shift in range(len(other)):
+                    assert z != complement(rotate(other, shift))
+
+    def test_all_four_tuples_realized_for_distinct_images(self):
+        images = self._images()
+        length = len(images[0])
+        for i, z in enumerate(images[:6]):
+            for other in images[:6]:
+                if z == other:
+                    continue
+                for shift in range(length):
+                    w = rotate(other, shift)
+                    tuples = {(z[t], w[t]) for t in range(length)}
+                    assert tuples == {("0", "0"), ("0", "1"), ("1", "0"), ("1", "1")}
+
+    def test_same_image_rotations_realize_diagonal_tuples(self):
+        images = self._images()
+        for z in images[:8]:
+            for shift in range(len(z)):
+                w = rotate(z, shift)
+                tuples = {(z[t], w[t]) for t in range(len(z))}
+                assert ("0", "0") in tuples
+                assert ("1", "1") in tuples

@@ -1,0 +1,114 @@
+"""Hypothesis property tests of the headline guarantees.
+
+These drive the constructions with *randomized structured inputs* —
+random overlapping channel sets, random universes, random shifts — and
+assert the paper's guarantees as universally-quantified properties.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import bounds
+from repro.core.epoch import EpochSchedule
+from repro.core.pairwise import async_period, pair_schedule_async
+from repro.core.symmetric import SymmetricWrappedSchedule
+from repro.core.verification import ttr_for_shift
+
+
+@st.composite
+def overlapping_sets(draw, max_n: int = 24, max_k: int = 5):
+    """Two channel sets over a shared universe with >= 1 common channel."""
+    n = draw(st.integers(4, max_n))
+    k = draw(st.integers(1, min(max_k, n - 1)))
+    l = draw(st.integers(1, min(max_k, n - 1)))
+    universe = list(range(n))
+    common = draw(st.sampled_from(universe))
+    rest = [c for c in universe if c != common]
+    a_extra = draw(
+        st.lists(st.sampled_from(rest), max_size=k - 1, unique=True)
+    )
+    b_extra = draw(
+        st.lists(st.sampled_from(rest), max_size=l - 1, unique=True)
+    )
+    return n, frozenset({common, *a_extra}), frozenset({common, *b_extra})
+
+
+class TestTheorem1Property:
+    @given(
+        st.integers(4, 2**20),
+        st.data(),
+    )
+    @settings(max_examples=40)
+    def test_any_overlapping_pairs_meet_within_period(self, n, data):
+        # Draw two distinct 2-sets sharing a channel, in a possibly huge
+        # universe (this is where the loglog pays off).
+        x = data.draw(st.integers(0, n - 2))
+        y = data.draw(st.integers(x + 1, n - 1))
+        z = data.draw(st.integers(0, n - 1).filter(lambda v: v not in (x,)))
+        pair_b = tuple(sorted({x, z})) if z != x else (x, y)
+        if len(set(pair_b)) == 1:
+            pair_b = (x, y)
+        a = pair_schedule_async(x, y, n)
+        b = pair_schedule_async(pair_b[0], pair_b[1], n)
+        shift = data.draw(st.integers(0, async_period(n) - 1))
+        ttr = ttr_for_shift(a, b, shift, async_period(n))
+        assert ttr is not None
+
+    @given(st.integers(2, 2**32))
+    @settings(max_examples=30)
+    def test_period_monotone_and_bounded(self, n):
+        period = async_period(n)
+        assert period <= async_period(2**48)
+        assert period >= 16
+
+
+class TestTheorem3Property:
+    @given(overlapping_sets(), st.data())
+    @settings(max_examples=25)
+    def test_rendezvous_within_analytic_bound(self, sets, data):
+        n, a_set, b_set = sets
+        a = EpochSchedule(a_set, n)
+        b = EpochSchedule(b_set, n)
+        bound = bounds.theorem3_async_bound(len(a_set), len(b_set), n)
+        shift = data.draw(st.integers(0, 10**6))
+        ttr = ttr_for_shift(a, b, shift, bound + 1)
+        assert ttr is not None, (sorted(a_set), sorted(b_set), shift)
+        assert ttr <= bound
+
+    @given(overlapping_sets())
+    @settings(max_examples=25)
+    def test_meeting_channel_is_common(self, sets):
+        n, a_set, b_set = sets
+        a = EpochSchedule(a_set, n)
+        b = EpochSchedule(b_set, n)
+        horizon = bounds.theorem3_async_bound(len(a_set), len(b_set), n)
+        for t in range(horizon):
+            if a.channel_at(t) == b.channel_at(t):
+                assert a.channel_at(t) in (a_set & b_set)
+                return
+        raise AssertionError("no synchronous-start rendezvous within bound")
+
+
+class TestSymmetricProperty:
+    @given(overlapping_sets(max_k=4), st.integers(0, 10**5))
+    @settings(max_examples=25)
+    def test_identical_sets_meet_in_constant_time(self, sets, shift):
+        n, a_set, _ = sets
+        s1 = SymmetricWrappedSchedule(EpochSchedule(a_set, n))
+        s2 = SymmetricWrappedSchedule(EpochSchedule(a_set, n))
+        ttr = ttr_for_shift(s1, s2, shift, bounds.symmetric_wrapper_bound() + 1)
+        assert ttr is not None
+        assert ttr <= bounds.symmetric_wrapper_bound()
+
+    @given(overlapping_sets(max_k=3), st.integers(0, 10**4))
+    @settings(max_examples=15)
+    def test_wrapped_general_pairs_still_meet(self, sets, shift):
+        n, a_set, b_set = sets
+        a = SymmetricWrappedSchedule(EpochSchedule(a_set, n))
+        b = SymmetricWrappedSchedule(EpochSchedule(b_set, n))
+        bound = bounds.wrapped_pair_bound(len(a_set), len(b_set), n)
+        ttr = ttr_for_shift(a, b, shift, bound + 1)
+        assert ttr is not None
+        assert ttr <= bound

@@ -1,0 +1,106 @@
+"""Tests for the Knuth-style balanced encoding."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import knuth
+from repro.core.bitstrings import is_balanced
+from tests.conftest import even_bits
+
+
+class TestBalancingPrefix:
+    def test_already_balanced_gives_zero(self):
+        assert knuth.balancing_prefix_length("01") == 0
+
+    def test_all_ones(self):
+        # Flipping the first half of 1111 balances it.
+        c = knuth.balancing_prefix_length("1111")
+        flipped = "0" * c + "1" * (4 - c)
+        assert flipped.count("1") == 2
+
+    def test_odd_length_rejected(self):
+        with pytest.raises(ValueError, match="even"):
+            knuth.balancing_prefix_length("101")
+
+    @given(even_bits(max_size=30))
+    def test_prefix_flip_balances(self, x):
+        c = knuth.balancing_prefix_length(x)
+        flipped = "".join(
+            ("1" if b == "0" else "0") if i < c else b for i, b in enumerate(x)
+        )
+        assert is_balanced(flipped)
+
+
+class TestEncode:
+    def test_empty_input(self):
+        out = knuth.encode("")
+        assert is_balanced(out)
+        assert len(out) == knuth.encoded_length(0)
+
+    def test_known_length(self):
+        # |K(x)| = |x| + 2 * width(|x|); for |x| = 4 the width is 3.
+        assert knuth.encoded_length(4) == 4 + 2 * 3
+
+    def test_length_formula_matches(self):
+        for size in range(0, 21, 2):
+            x = "10" * (size // 2)
+            assert len(knuth.encode(x)) == knuth.encoded_length(size)
+
+    def test_odd_length_rejected(self):
+        with pytest.raises(ValueError):
+            knuth.encode("101")
+
+    @given(even_bits(max_size=30))
+    def test_output_balanced(self, x):
+        assert is_balanced(knuth.encode(x))
+
+    def test_overhead_is_logarithmic(self):
+        # Sanity on the advertised overhead shape.
+        for size in (2, 8, 32, 128, 512):
+            x = "01" * (size // 2)
+            overhead = len(knuth.encode(x)) - size
+            assert overhead <= 2 * (size.bit_length() + 1)
+
+
+class TestDecode:
+    @given(even_bits(max_size=30))
+    def test_round_trip(self, x):
+        assert knuth.decode(knuth.encode(x), len(x)) == x
+
+    def test_injective_on_fixed_width(self):
+        width = 6
+        images = {knuth.encode(format(v, f"0{width}b")) for v in range(1 << width)}
+        assert len(images) == 1 << width
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError, match="expected"):
+            knuth.decode("0101", 4)
+
+    def test_corrupt_tail_rejected(self):
+        y = knuth.encode("0110")
+        # Break the complement structure of the tail.
+        corrupt = y[:-1] + ("0" if y[-1] == "1" else "1")
+        with pytest.raises(ValueError):
+            knuth.decode(corrupt, 4)
+
+    def test_odd_input_length_rejected(self):
+        with pytest.raises(ValueError):
+            knuth.decode("01", 1)
+
+
+class TestTailWidth:
+    def test_tail_width_values(self):
+        assert knuth.tail_width(0) == 1
+        assert knuth.tail_width(4) == 3
+        assert knuth.tail_width(8) == 4
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            knuth.tail_width(-2)
+
+    @given(st.integers(0, 200).map(lambda v: 2 * v))
+    def test_encoded_length_even(self, size):
+        assert knuth.encoded_length(size) % 2 == 0

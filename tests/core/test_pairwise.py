@@ -1,0 +1,146 @@
+"""Tests for Theorem 1: size-two schedules, sync and async.
+
+The asynchronous guarantee is *certified exhaustively* for a full small
+universe: every ordered pair of overlapping two-element subsets of
+``[16]`` rendezvouses at every relative shift within one period.  Larger
+universes are covered at the color-string level (the construction factors
+through colors, so this is equally exhaustive per universe size).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core import ramsey
+from repro.core.bitstrings import rotate
+from repro.core.pairwise import (
+    async_pair_string,
+    async_period,
+    pair_schedule_async,
+    pair_schedule_sync,
+    string_to_schedule,
+    sync_pair_string,
+    sync_period,
+)
+from repro.core.verification import verify_guarantee
+
+
+def _all_color_strings(n: int, asynchronous: bool) -> list[str]:
+    maker = async_pair_string if asynchronous else sync_pair_string
+    return [maker(ramsey.color_bits(c, n)) for c in range(ramsey.palette_width(n))]
+
+
+class TestStringShapes:
+    def test_sync_prefix(self):
+        assert sync_pair_string("0110").startswith("01")
+
+    def test_sync_period_formula(self):
+        for n in (2, 16, 64, 2**20):
+            assert len(_all_color_strings(n, False)[0]) == sync_period(n)
+
+    def test_async_period_formula(self):
+        for n in (2, 16, 64, 2**20):
+            assert len(_all_color_strings(n, True)[0]) == async_period(n)
+
+    def test_async_period_is_loglog(self):
+        # Doubly exponential universe growth adds only a few slots.
+        assert async_period(2**32) - async_period(4) <= 8
+
+    def test_all_colors_same_length(self):
+        for n in (16, 64, 2**10):
+            for asynchronous in (False, True):
+                lengths = {len(s) for s in _all_color_strings(n, asynchronous)}
+                assert len(lengths) == 1
+
+
+class TestStringToSchedule:
+    def test_zero_is_low_one_is_high(self):
+        s = string_to_schedule("0110", 3, 9)
+        assert [s.channel_at(t) for t in range(4)] == [3, 9, 9, 3]
+
+    def test_requires_order(self):
+        with pytest.raises(ValueError):
+            string_to_schedule("01", 9, 3)
+
+
+class TestSyncGuarantee:
+    """C(x) realizes the needed tuples at aligned time (synchronous model)."""
+
+    @pytest.mark.parametrize("n", [2, 16, 64, 1 << 16])
+    def test_diagonal_tuples_any_colors(self, n):
+        # (0,0) at t=0 and (1,1) at t=1 from the shared 01 prefix.
+        strings = _all_color_strings(n, False)
+        for r, s in itertools.product(strings, repeat=2):
+            assert (r[0], s[0]) == ("0", "0")
+            assert (r[1], s[1]) == ("1", "1")
+
+    @pytest.mark.parametrize("n", [4, 16, 64, 1 << 16])
+    def test_cross_tuples_distinct_colors(self, n):
+        strings = _all_color_strings(n, False)
+        for r, s in itertools.combinations(strings, 2):
+            tuples = {(r[t], s[t]) for t in range(len(r))}
+            assert ("0", "1") in tuples and ("1", "0") in tuples
+
+    def test_schedule_level_sync_rendezvous_exhaustive(self):
+        n = 12
+        bound = sync_period(n) - 1
+        pairs = list(itertools.combinations(range(n), 2))
+        schedules = {p: pair_schedule_sync(*p, n) for p in pairs}
+        for pa, pb in itertools.combinations_with_replacement(pairs, 2):
+            if not (set(pa) & set(pb)):
+                continue
+            ok, _, _ = verify_guarantee(schedules[pa], schedules[pb], bound, shifts=[0])
+            assert ok, (pa, pb)
+
+
+class TestAsyncGuarantee:
+    """R(x) rendezvous at every rotation (asynchronous model)."""
+
+    @pytest.mark.parametrize("n", [4, 64, 1 << 10, 1 << 16])
+    def test_color_level_all_rotations(self, n):
+        strings = _all_color_strings(n, True)
+        length = len(strings[0])
+        for r, s in itertools.product(strings, repeat=2):
+            for shift in range(length):
+                w = rotate(s, shift)
+                tuples = {(r[t], w[t]) for t in range(length)}
+                assert ("0", "0") in tuples and ("1", "1") in tuples
+                if r != s:
+                    assert ("0", "1") in tuples and ("1", "0") in tuples
+
+    def test_schedule_level_exhaustive_small_universe(self):
+        n = 16
+        bound = async_period(n)
+        pairs = list(itertools.combinations(range(n), 2))
+        schedules = {p: pair_schedule_async(*p, n) for p in pairs}
+        for pa, pb in itertools.combinations_with_replacement(pairs, 2):
+            if not (set(pa) & set(pb)):
+                continue
+            ok, _, shift = verify_guarantee(schedules[pa], schedules[pb], bound)
+            assert ok, (pa, pb, shift)
+
+    def test_identical_sets_rendezvous_asynchronously(self):
+        n = 64
+        s1 = pair_schedule_async(5, 40, n)
+        s2 = pair_schedule_async(5, 40, n)
+        ok, worst, shift = verify_guarantee(s1, s2, async_period(n))
+        assert ok, shift
+        assert worst <= async_period(n)
+
+    def test_distinct_channels_required(self):
+        with pytest.raises(ValueError):
+            pair_schedule_async(3, 3, 8)
+        with pytest.raises(ValueError):
+            pair_schedule_sync(3, 3, 8)
+
+
+class TestTheorem1Bound:
+    def test_period_within_paper_style_bound(self):
+        """|R| = log# log# n + O(log log log n) + constants; check a
+        concrete generous envelope for a huge range of n."""
+        for exponent in (1, 2, 4, 8, 16, 32, 48):
+            n = 2**exponent
+            loglog = max(1, exponent.bit_length())
+            assert async_period(n) <= 6 * loglog + 40

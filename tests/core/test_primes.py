@@ -1,0 +1,83 @@
+"""Tests for prime utilities."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import primes
+
+
+def _sieve(limit: int) -> set[int]:
+    flags = bytearray([1]) * (limit + 1)
+    flags[0:2] = b"\x00\x00"
+    for i in range(2, int(limit**0.5) + 1):
+        if flags[i]:
+            flags[i * i :: i] = b"\x00" * len(flags[i * i :: i])
+    return {i for i in range(limit + 1) if flags[i]}
+
+
+class TestIsPrime:
+    def test_against_sieve(self):
+        table = _sieve(10_000)
+        for n in range(10_000):
+            assert primes.is_prime(n) == (n in table)
+
+    @pytest.mark.parametrize("n", [-5, 0, 1])
+    def test_non_positive(self, n):
+        assert not primes.is_prime(n)
+
+    def test_large_known_prime(self):
+        assert primes.is_prime(2**31 - 1)  # Mersenne prime
+
+    def test_large_known_composite(self):
+        assert not primes.is_prime((2**31 - 1) * 7)
+
+    def test_carmichael_numbers_rejected(self):
+        for n in (561, 1105, 1729, 2465, 2821, 6601):
+            assert not primes.is_prime(n)
+
+
+class TestPrimesInRange:
+    def test_inclusive_bounds(self):
+        assert primes.primes_in_range(2, 11) == [2, 3, 5, 7, 11]
+
+    def test_empty_window(self):
+        assert primes.primes_in_range(24, 28) == []
+
+    def test_clamps_below_two(self):
+        assert primes.primes_in_range(-10, 3) == [2, 3]
+
+
+class TestTwoPrimesForSetSize:
+    def test_smallest_pairs(self):
+        assert primes.two_primes_for_set_size(1) == (2, 3)
+        assert primes.two_primes_for_set_size(2) == (2, 3)
+        assert primes.two_primes_for_set_size(3) == (3, 5)
+        assert primes.two_primes_for_set_size(4) == (5, 7)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            primes.two_primes_for_set_size(0)
+
+    @given(st.integers(1, 3000))
+    def test_paper_window_always_has_two_primes(self, k):
+        p, q = primes.two_primes_for_set_size(k)
+        assert k <= p < q <= 3 * k
+        assert primes.is_prime(p) and primes.is_prime(q)
+
+
+class TestSmallestPrimeHelpers:
+    @given(st.integers(0, 5000))
+    def test_at_least(self, n):
+        p = primes.smallest_prime_at_least(n)
+        assert p >= max(n, 2)
+        assert primes.is_prime(p)
+        assert all(not primes.is_prime(m) for m in range(max(n, 2), p))
+
+    @given(st.integers(0, 5000))
+    def test_greater_than(self, n):
+        p = primes.smallest_prime_greater_than(n)
+        assert p > n
+        assert primes.is_prime(p)

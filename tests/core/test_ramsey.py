@@ -1,0 +1,84 @@
+"""Tests for the 2-Ramsey edge coloring of the linear poset (Lemma 2)."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import ramsey
+
+
+class TestPaletteWidth:
+    def test_small_universes(self):
+        assert ramsey.palette_width(2) == 1
+        assert ramsey.palette_width(3) == 2
+        assert ramsey.palette_width(4) == 2
+        assert ramsey.palette_width(5) == 3
+
+    def test_log_sharp_shape(self):
+        assert ramsey.palette_width(256) == 8
+        assert ramsey.palette_width(257) == 9
+
+    def test_rejects_tiny_universe(self):
+        with pytest.raises(ValueError):
+            ramsey.palette_width(1)
+
+
+class TestEdgeColor:
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            ramsey.edge_color(2, 2, 8)
+        with pytest.raises(ValueError):
+            ramsey.edge_color(3, 1, 8)
+        with pytest.raises(ValueError):
+            ramsey.edge_color(0, 8, 8)
+
+    def test_color_in_palette(self):
+        n = 37
+        width = ramsey.palette_width(n)
+        for a, b in itertools.combinations(range(n), 2):
+            assert 0 <= ramsey.edge_color(a, b, n) < width
+
+    @pytest.mark.parametrize("lowest", [False, True])
+    def test_no_monochromatic_directed_path(self, lowest):
+        """The defining 2-Ramsey property, exhaustively for n = 64."""
+        n = 64
+        for a, b, c in itertools.combinations(range(n), 3):
+            left = ramsey.edge_color(a, b, n, lowest=lowest)
+            right = ramsey.edge_color(b, c, n, lowest=lowest)
+            assert left != right, (a, b, c)
+
+    @given(st.integers(3, 4096), st.data())
+    def test_no_monochromatic_path_sampled(self, n, data):
+        a = data.draw(st.integers(0, n - 3))
+        b = data.draw(st.integers(a + 1, n - 2))
+        c = data.draw(st.integers(b + 1, n - 1))
+        assert ramsey.edge_color(a, b, n) != ramsey.edge_color(b, c, n)
+
+    def test_color_is_bit_of_b_not_a(self):
+        n = 128
+        for a, b in itertools.combinations(range(0, n, 7), 2):
+            color = ramsey.edge_color(a, b, n)
+            assert (b >> color) & 1 == 1
+            assert (a >> color) & 1 == 0
+
+
+class TestColorBits:
+    def test_width_even_and_fixed(self):
+        for n in (2, 3, 7, 64, 100, 2**20):
+            width = ramsey.color_width(n)
+            assert width % 2 == 0
+            for color in range(ramsey.palette_width(n)):
+                assert len(ramsey.color_bits(color, n)) == width
+
+    def test_out_of_palette_rejected(self):
+        with pytest.raises(ValueError):
+            ramsey.color_bits(ramsey.palette_width(16), 16)
+
+    def test_distinct_colors_distinct_bits(self):
+        n = 1 << 10
+        encodings = {ramsey.color_bits(c, n) for c in range(ramsey.palette_width(n))}
+        assert len(encodings) == ramsey.palette_width(n)

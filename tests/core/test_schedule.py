@@ -1,0 +1,72 @@
+"""Tests for the schedule abstractions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.schedule import (
+    ConstantSchedule,
+    CyclicSchedule,
+    FunctionSchedule,
+)
+
+
+class TestCyclicSchedule:
+    def test_cycles(self):
+        s = CyclicSchedule([4, 9, 2])
+        assert [s.channel_at(t) for t in range(7)] == [4, 9, 2, 4, 9, 2, 4]
+
+    def test_period_and_channels(self):
+        s = CyclicSchedule([1, 1, 3])
+        assert s.period == 3
+        assert s.channels == {1, 3}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CyclicSchedule([])
+
+    def test_materialize_matches_channel_at(self):
+        s = CyclicSchedule([5, 1, 7, 7])
+        window = s.materialize(3, 17)
+        assert window.dtype == np.int64
+        assert list(window) == [s.channel_at(t) for t in range(3, 17)]
+
+    def test_materialize_empty_window(self):
+        assert CyclicSchedule([1]).materialize(5, 5).size == 0
+
+    def test_materialize_rejects_reversed_window(self):
+        with pytest.raises(ValueError):
+            CyclicSchedule([1]).materialize(5, 4)
+
+
+class TestConstantSchedule:
+    def test_always_same(self):
+        s = ConstantSchedule(11)
+        assert s.period == 1
+        assert {s.channel_at(t) for t in range(10)} == {11}
+
+    def test_materialize(self):
+        assert list(ConstantSchedule(2).materialize(0, 4)) == [2, 2, 2, 2]
+
+
+class TestFunctionSchedule:
+    def test_wraps_function(self):
+        s = FunctionSchedule(lambda t: (t * t) % 5, period=5)
+        assert [s.channel_at(t) for t in range(5)] == [0, 1, 4, 4, 1]
+
+    def test_channels_inferred(self):
+        s = FunctionSchedule(lambda t: t % 3, period=3)
+        assert s.channels == {0, 1, 2}
+
+    def test_explicit_channels(self):
+        s = FunctionSchedule(lambda t: 0, period=2, channels=frozenset({0}))
+        assert s.channels == {0}
+
+    def test_bad_period_rejected(self):
+        with pytest.raises(ValueError):
+            FunctionSchedule(lambda t: 0, period=0)
+
+    def test_materialize_uses_period_array(self):
+        s = FunctionSchedule(lambda t: t % 4, period=4)
+        assert list(s.materialize(2, 10)) == [2, 3, 0, 1, 2, 3, 0, 1]

@@ -1,0 +1,118 @@
+"""Tests for the Section 3.2 symmetric O(1) wrapper."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.epoch import EpochSchedule, rendezvous_bound
+from repro.core.schedule import CyclicSchedule
+from repro.core.symmetric import SYMMETRIC_PATTERN, SymmetricWrappedSchedule
+from repro.core.verification import ttr_for_shift
+
+
+class TestPattern:
+    def test_is_paper_pattern_doubled(self):
+        assert SYMMETRIC_PATTERN == (0, 1, 0, 0, 1, 1) * 2
+
+    def test_diamond_zero_at_every_rotation(self):
+        """The paper's claim: 010011 realizes (0,0) and (1,1) against
+        every rotation of itself."""
+        s = "010011"
+        for shift in range(len(s)):
+            w = s[shift:] + s[:shift]
+            tuples = {(s[t], w[t]) for t in range(len(s))}
+            assert ("0", "0") in tuples and ("1", "1") in tuples
+
+    def test_naive_two_slot_pattern_fails(self):
+        """Ablation: the obvious pattern c0 c1 does NOT guarantee (0,0)
+        at odd shifts — this is why the paper needs 010011."""
+        s = "01"
+        w = s[1:] + s[:1]
+        tuples = {(s[t], w[t]) for t in range(len(s))}
+        assert ("0", "0") not in tuples
+
+
+class TestWrapping:
+    def test_expansion_factor(self):
+        base = CyclicSchedule([4, 7, 9])
+        wrapped = SymmetricWrappedSchedule(base)
+        assert wrapped.period == 12 * base.period
+
+    def test_pattern_layout(self):
+        base = CyclicSchedule([7])
+        wrapped = SymmetricWrappedSchedule(base)
+        expansion = [wrapped.channel_at(t) for t in range(12)]
+        assert expansion == [7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7, 7]
+
+    def test_min_channel_is_c0(self):
+        base = CyclicSchedule([9, 4])
+        wrapped = SymmetricWrappedSchedule(base)
+        slots = [wrapped.channel_at(t) for t in range(24)]
+        # Pattern zeros (positions 0,2,3 / 6,8,9 of each 12) hop on min=4.
+        for block in range(2):
+            for pos in (0, 2, 3, 6, 8, 9):
+                assert slots[12 * block + pos] == 4
+
+    def test_one_slots_follow_base(self):
+        base = CyclicSchedule([9, 4])
+        wrapped = SymmetricWrappedSchedule(base)
+        for base_slot in range(4):
+            for pos in (1, 4, 5, 7, 10, 11):
+                assert wrapped.channel_at(12 * base_slot + pos) == base.channel_at(
+                    base_slot
+                )
+
+    def test_negative_slot_rejected(self):
+        with pytest.raises(ValueError):
+            SymmetricWrappedSchedule(CyclicSchedule([1])).channel_at(-3)
+
+
+class TestSymmetricConstantTime:
+    """Identical channel sets rendezvous within 12 slots at any shift."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_identical_sets_meet_fast(self, seed):
+        rng = random.Random(seed)
+        n = 16
+        k = rng.randint(1, 6)
+        channels = rng.sample(range(n), k)
+        s1 = SymmetricWrappedSchedule(EpochSchedule(channels, n))
+        s2 = SymmetricWrappedSchedule(EpochSchedule(channels, n))
+        shifts = list(range(36)) + [rng.randrange(s1.period) for _ in range(30)]
+        for shift in shifts:
+            ttr = ttr_for_shift(s1, s2, shift, 13)
+            assert ttr is not None and ttr <= 12, (channels, shift, ttr)
+
+    def test_meet_on_minimum_channel(self):
+        n = 16
+        channels = [3, 9, 14]
+        s1 = SymmetricWrappedSchedule(EpochSchedule(channels, n))
+        s2 = SymmetricWrappedSchedule(EpochSchedule(channels, n))
+        # At shift 5, find the first coincidence and check the channel.
+        shift = 5
+        for t in range(shift, shift + 13):
+            if s1.channel_at(t) == s2.channel_at(t - shift):
+                assert s1.channel_at(t) == 3
+                break
+        else:
+            pytest.fail("no rendezvous within 12 slots")
+
+
+class TestGeneralPairsPreserved:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_overlapping_pairs_within_12x_bound(self, seed):
+        rng = random.Random(300 + seed)
+        n = 16
+        common = rng.randrange(n)
+        rest = [c for c in range(n) if c != common]
+        a_set = {common} | set(rng.sample(rest, rng.randint(0, 4)))
+        b_set = {common} | set(rng.sample(rest, rng.randint(0, 4)))
+        a = SymmetricWrappedSchedule(EpochSchedule(a_set, n))
+        b = SymmetricWrappedSchedule(EpochSchedule(b_set, n))
+        bound = 12 * rendezvous_bound(a.base, b.base) + 24
+        shifts = list(range(0, 26)) + [rng.randrange(10**6) for _ in range(20)]
+        for shift in shifts:
+            ttr = ttr_for_shift(a, b, shift, bound + 1)
+            assert ttr is not None and ttr <= bound, (a_set, b_set, shift, ttr)

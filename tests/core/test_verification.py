@@ -1,0 +1,127 @@
+"""Tests for the rendezvous verification engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.schedule import ConstantSchedule, CyclicSchedule
+from repro.core.verification import (
+    exhaustive_shift_range,
+    first_rendezvous,
+    max_ttr,
+    ttr_for_shift,
+    ttr_profile,
+    verify_guarantee,
+)
+
+
+class TestFirstRendezvous:
+    def test_immediate_meeting(self):
+        a = ConstantSchedule(3)
+        b = ConstantSchedule(3)
+        assert first_rendezvous(a, b, 0, 0, 10) == 0
+
+    def test_never_meets(self):
+        assert first_rendezvous(ConstantSchedule(1), ConstantSchedule(2), 0, 0, 100) is None
+
+    def test_measured_from_later_wake(self):
+        a = CyclicSchedule([1, 2, 3, 4])
+        b = CyclicSchedule([4, 9, 9, 9])
+        # b wakes at 1: global t: b plays 4 at t=1; a plays 2 at t=1...
+        # a plays 4 at t=3 where b plays b(2)=9; coincidences computed
+        # against explicit simulation.
+        expected = None
+        for t in range(1, 50):
+            if a.channel_at(t) == b.channel_at(t - 1):
+                expected = t - 1
+                break
+        assert first_rendezvous(a, b, 0, 1, 50) == expected
+
+    def test_chunked_scan_matches_small_chunks(self):
+        a = CyclicSchedule([1, 2, 3, 4, 5])
+        b = CyclicSchedule([9, 9, 9, 9, 3])
+        big = first_rendezvous(a, b, 0, 2, 1000)
+        small = first_rendezvous(a, b, 0, 2, 1000, chunk=3)
+        assert big == small
+
+    def test_negative_wake_rejected(self):
+        with pytest.raises(ValueError):
+            first_rendezvous(ConstantSchedule(1), ConstantSchedule(1), -1, 0, 10)
+
+
+class TestTtrForShift:
+    def test_positive_shift_delays_b(self):
+        a = CyclicSchedule([1, 2])
+        b = CyclicSchedule([2, 1])
+        # shift 0: a=1 vs b=2 at t0, a=2 vs b=1 at t1 ... never meet?
+        # They alternate out of phase: no rendezvous ever.
+        assert ttr_for_shift(a, b, 0, 100) is None
+        # shift 1: b lags one slot -> aligned: both play 2 then 1.
+        assert ttr_for_shift(a, b, 1, 100) == 0
+
+    def test_negative_shift_mirrors(self):
+        a = CyclicSchedule([1, 2])
+        b = CyclicSchedule([2, 1])
+        assert ttr_for_shift(a, b, -1, 100) == 0
+
+
+class TestProfiles:
+    def test_profile_keys(self):
+        a = CyclicSchedule([1, 2])
+        b = CyclicSchedule([1, 2])
+        profile = ttr_profile(a, b, [0, 1, 2], 10)
+        assert set(profile) == {0, 1, 2}
+        assert profile[0] == 0
+
+    def test_max_ttr_raises_on_miss(self):
+        a = CyclicSchedule([1, 2])
+        b = CyclicSchedule([2, 1])
+        with pytest.raises(AssertionError, match="no rendezvous"):
+            max_ttr(a, b, [0], 10)
+
+    def test_max_ttr_value(self):
+        a = CyclicSchedule([1, 1, 1, 2])
+        b = CyclicSchedule([2, 2, 2, 2])
+        # Meets only when a plays 2: worst over shifts 0..3 is 3 slots.
+        assert max_ttr(a, b, range(4), 10) == 3
+
+
+class TestExhaustiveShiftRange:
+    def test_lcm_of_periods(self):
+        a = CyclicSchedule([1, 2, 3])
+        b = CyclicSchedule([1, 2, 3, 4])
+        assert exhaustive_shift_range(a, b) == range(0, 12)
+
+    def test_exhaustiveness(self):
+        """Shifts beyond the lcm behave identically to shifts inside it."""
+        a = CyclicSchedule([1, 2, 3])
+        b = CyclicSchedule([3, 2, 1, 3])
+        lcm = 12
+        for shift in range(lcm):
+            inside = ttr_for_shift(a, b, shift, 50)
+            outside = ttr_for_shift(a, b, shift + lcm, 50)
+            assert inside == outside
+
+
+class TestVerifyGuarantee:
+    def test_pass(self):
+        a = CyclicSchedule([1, 2])
+        b = CyclicSchedule([1, 1])
+        ok, worst, failing = verify_guarantee(a, b, 1)
+        assert ok and failing is None
+        assert worst <= 1
+
+    def test_fail_reports_shift(self):
+        a = CyclicSchedule([1, 2])
+        b = CyclicSchedule([2, 1])
+        ok, _, failing = verify_guarantee(a, b, 5, shifts=[0])
+        assert not ok
+        assert failing == 0
+
+    def test_bound_respected(self):
+        a = CyclicSchedule([1, 1, 1, 2])
+        b = CyclicSchedule([2, 2, 2, 2])
+        ok, worst, _ = verify_guarantee(a, b, 3)
+        assert ok and worst == 3
+        ok, _, _ = verify_guarantee(a, b, 2)
+        assert not ok

@@ -1,0 +1,69 @@
+"""Tests for the Theorem 7 density harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.epoch import EpochSchedule
+from repro.core.schedule import ConstantSchedule, CyclicSchedule
+from repro.lowerbounds.density import (
+    mean_density,
+    occurrence_density,
+    search_hard_instance,
+)
+
+
+class TestOccurrenceDensity:
+    def test_constant_schedule(self):
+        assert occurrence_density(ConstantSchedule(3), 3, 100) == 1.0
+        assert occurrence_density(ConstantSchedule(3), 4, 100) == 0.0
+
+    def test_cyclic_split(self):
+        s = CyclicSchedule([1, 2, 1, 1])
+        assert occurrence_density(s, 1, 400) == 0.75
+
+    def test_bad_horizon(self):
+        with pytest.raises(ValueError):
+            occurrence_density(ConstantSchedule(1), 1, 0)
+
+
+class TestMeanDensity:
+    def test_expectation_is_one_over_k(self):
+        """Theorem 7's first expectation: E[Delta] = 1/k for any family
+        (every slot plays exactly one channel of the set)."""
+        def builder(channels, n):
+            return EpochSchedule(channels, n)
+
+        for k in (2, 3, 4):
+            mean = mean_density(builder, 12, k, horizon=2000, samples=30, seed=1)
+            assert abs(mean - 1 / k) < 0.25 / k
+
+
+class TestHardInstanceSearch:
+    def test_finds_witness_scaling_with_kl(self):
+        """For the paper's schedule the worst found TTR must be at least
+        k*l-ish (the lower bound says it cannot be below ~k*l; the upper
+        bound says O(k l loglog n))."""
+        def builder(channels, n):
+            return EpochSchedule(channels, n)
+
+        n, k, l = 16, 3, 3
+        witness = search_hard_instance(
+            builder, n, k, l,
+            instances=6, shifts_per_instance=20,
+            horizon=60_000, seed=2, extra_shifts=range(0, 40, 5),
+        )
+        assert witness.kl_product == 9
+        assert witness.ttr >= k * l  # the Omega(kl) floor
+        assert len(witness.a_set & witness.b_set) == 1
+
+    def test_miss_raises(self):
+        def bad_builder(channels, n):
+            # Always plays the minimum: disjoint-min instances never meet.
+            return ConstantSchedule(min(channels))
+
+        with pytest.raises(AssertionError, match="missed"):
+            search_hard_instance(
+                bad_builder, 12, 3, 3,
+                instances=8, shifts_per_instance=4, horizon=100, seed=0,
+            )

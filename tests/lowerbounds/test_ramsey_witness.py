@@ -1,0 +1,60 @@
+"""Tests for Ramsey witness finding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pairwise import async_pair_string
+from repro.core.ramsey import color_bits, edge_color
+from repro.lowerbounds.ramsey_witness import (
+    find_monochromatic_path,
+    ramsey_universe_threshold,
+    truncation_witness,
+)
+
+
+class TestThreshold:
+    def test_known_values(self):
+        import math
+
+        assert ramsey_universe_threshold(0) == math.ceil(math.e)  # 1 color
+        assert ramsey_universe_threshold(1) == math.ceil(2 * math.e)
+
+    def test_growth_is_doubly_exponential_ish(self):
+        assert ramsey_universe_threshold(2) < ramsey_universe_threshold(3)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ramsey_universe_threshold(-1)
+
+
+class TestWitnessFinding:
+    def test_constant_family_has_witness(self):
+        """Everyone playing the same string: any path is monochromatic."""
+        witness = find_monochromatic_path(lambda a, b: "0101", 5)
+        assert witness is not None
+        a, b, c = witness
+        assert a < b < c
+
+    def test_paper_family_has_no_witness(self):
+        """The Ramsey coloring guarantees distinct strings on paths."""
+        n = 32
+        def string_of_edge(a: int, b: int) -> str:
+            return async_pair_string(color_bits(edge_color(a, b, n), n))
+        assert find_monochromatic_path(string_of_edge, n) is None
+
+    def test_truncation_creates_witness(self):
+        """Cutting the paper's schedule to 0 slots leaves everyone with
+        the empty string -> instant witness.  (With enough channels even
+        moderate truncations fail; T=0 demonstrates the mechanism
+        deterministically.)"""
+        n = 16
+        def string_of_edge(a: int, b: int) -> str:
+            return async_pair_string(color_bits(edge_color(a, b, n), n))
+        assert truncation_witness(string_of_edge, n, 0) is not None
+
+    def test_identity_colors_distinct_enough(self):
+        """Distinct strings everywhere -> no witness even on paths."""
+        def string_of_edge(a: int, b: int) -> str:
+            return f"{a}-{b}"
+        assert find_monochromatic_path(string_of_edge, 10) is None

@@ -1,0 +1,89 @@
+"""Tests for the one-round orientation model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.oneround.orientation import (
+    OneRoundInstance,
+    brute_force_optimum,
+    count_in_pairs,
+    count_out_pairs,
+)
+
+
+def star(center: int, leaves: int) -> OneRoundInstance:
+    return OneRoundInstance([(center, center + i + 1) for i in range(leaves)])
+
+
+class TestInstance:
+    def test_normalizes_edges(self):
+        inst = OneRoundInstance([(3, 1), (2, 4)])
+        assert inst.edges == ((1, 3), (2, 4))
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            OneRoundInstance([(1, 1)])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            OneRoundInstance([(1, 2), (2, 1)])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            OneRoundInstance([])
+
+    def test_incident_pair_count_star(self):
+        # Star with 4 leaves: C(4,2) = 6 incident pairs at the center.
+        assert star(0, 4).incident_pair_count() == 6
+
+    def test_incident_pair_count_path(self):
+        inst = OneRoundInstance([(0, 1), (1, 2), (2, 3)])
+        assert inst.incident_pair_count() == 2
+
+
+class TestCounting:
+    def test_star_all_in(self):
+        inst = star(0, 4)
+        choices = (0, 0, 0, 0)
+        assert count_in_pairs(inst, choices) == 6
+        assert count_out_pairs(inst, choices) == 0
+
+    def test_star_all_out(self):
+        inst = star(0, 4)
+        choices = (1, 2, 3, 4)
+        assert count_in_pairs(inst, choices) == 0
+        assert count_out_pairs(inst, choices) == 6
+
+    def test_path_alternating(self):
+        inst = OneRoundInstance([(0, 1), (1, 2)])
+        # Both point at 1: in-pair.
+        assert count_in_pairs(inst, (1, 1)) == 1
+        # Point apart: out... edges (0,1)->0 and (1,2)->2: share vertex 1,
+        # both away from it -> out-pair.
+        assert count_in_pairs(inst, (0, 2)) == 0
+        assert count_out_pairs(inst, (0, 2)) == 1
+
+    def test_invalid_choice_rejected(self):
+        inst = OneRoundInstance([(0, 1)])
+        with pytest.raises(ValueError):
+            count_in_pairs(inst, (2,))
+        with pytest.raises(ValueError):
+            count_in_pairs(inst, (0, 1))
+
+
+class TestBruteForce:
+    def test_star_optimum(self):
+        best, choices = brute_force_optimum(star(0, 5))
+        assert best == 10  # all edges into the center
+        assert set(choices) == {0}
+
+    def test_triangle_optimum(self):
+        best, _ = brute_force_optimum(OneRoundInstance([(0, 1), (1, 2), (0, 2)]))
+        # Best: two edges into one vertex -> 1 in-pair (third can't join).
+        assert best == 1
+
+    def test_limit_enforced(self):
+        edges = [(0, i + 1) for i in range(21)]
+        with pytest.raises(ValueError, match="brute force"):
+            brute_force_optimum(OneRoundInstance(edges))

@@ -1,0 +1,50 @@
+"""Tests for the Agent abstraction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.schedule import CyclicSchedule
+from repro.sim.agent import ASLEEP, Agent
+
+
+class TestAgent:
+    def test_asleep_before_wake(self):
+        a = Agent("a", CyclicSchedule([1, 2]), wake_time=3)
+        assert a.channel_at_global(0) == ASLEEP
+        assert a.channel_at_global(2) == ASLEEP
+
+    def test_schedule_starts_at_wake(self):
+        a = Agent("a", CyclicSchedule([1, 2]), wake_time=3)
+        assert a.channel_at_global(3) == 1
+        assert a.channel_at_global(4) == 2
+
+    def test_negative_wake_rejected(self):
+        with pytest.raises(ValueError):
+            Agent("a", CyclicSchedule([1]), wake_time=-1)
+
+    def test_channels_from_schedule(self):
+        a = Agent("a", CyclicSchedule([5, 7, 5]))
+        assert a.channels == {5, 7}
+
+    def test_materialize_global_pads_sleep(self):
+        a = Agent("a", CyclicSchedule([1, 2]), wake_time=2)
+        window = a.materialize_global(0, 6)
+        assert list(window) == [ASLEEP, ASLEEP, 1, 2, 1, 2]
+
+    def test_materialize_global_mid_window(self):
+        a = Agent("a", CyclicSchedule([1, 2, 3]), wake_time=1)
+        window = a.materialize_global(4, 8)
+        assert list(window) == [a.channel_at_global(t) for t in range(4, 8)]
+
+    def test_materialize_rejects_reversed(self):
+        a = Agent("a", CyclicSchedule([1]))
+        with pytest.raises(ValueError):
+            a.materialize_global(5, 4)
+
+    def test_overlap_detection(self):
+        a = Agent("a", CyclicSchedule([1, 2]))
+        b = Agent("b", CyclicSchedule([2, 3]))
+        c = Agent("c", CyclicSchedule([4]))
+        assert a.overlaps(b)
+        assert not a.overlaps(c)

@@ -1,0 +1,129 @@
+"""Tests for the chirp-and-listen identification layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.schedule import ConstantSchedule, CyclicSchedule
+from repro.sim.agent import Agent
+from repro.sim.handshake import ChirpAndListen
+
+
+def _pair_on_shared_channel(seed: int = 0) -> ChirpAndListen:
+    return ChirpAndListen(
+        [Agent("a", ConstantSchedule(5)), Agent("b", ConstantSchedule(5))],
+        seed=seed,
+    )
+
+
+class TestBasics:
+    def test_unique_names_required(self):
+        with pytest.raises(ValueError, match="unique"):
+            ChirpAndListen(
+                [Agent("x", ConstantSchedule(1)), Agent("x", ConstantSchedule(1))]
+            )
+
+    def test_bad_horizon(self):
+        with pytest.raises(ValueError):
+            _pair_on_shared_channel().run(0)
+
+    def test_deterministic(self):
+        r1 = _pair_on_shared_channel(seed=3).run(200)
+        r2 = _pair_on_shared_channel(seed=3).run(200)
+        assert r1.heard == r2.heard
+        assert r1.mutual == r2.mutual
+
+    def test_seed_changes_timing(self):
+        r1 = _pair_on_shared_channel(seed=1).run(50)
+        r2 = _pair_on_shared_channel(seed=2).run(50)
+        assert r1.heard != r2.heard or r1.mutual != r2.mutual
+
+
+class TestPairIdentification:
+    def test_copresent_pair_mutually_identifies(self):
+        result = _pair_on_shared_channel().run(200)
+        t = result.mutual_identification_time("a", "b")
+        assert t is not None
+        # Expected ~ a few slots: sole-chirp prob per slot is 1/2 either way.
+        assert t < 64
+
+    def test_mutual_needs_both_directions(self):
+        result = _pair_on_shared_channel().run(200)
+        t_ab = result.first_heard("a", "b")
+        t_ba = result.first_heard("b", "a")
+        mutual = result.mutual_identification_time("a", "b")
+        assert mutual == max(t_ab, t_ba)
+
+    def test_disjoint_channels_never_identify(self):
+        cl = ChirpAndListen(
+            [Agent("a", ConstantSchedule(1)), Agent("b", ConstantSchedule(2))]
+        )
+        result = cl.run(300)
+        assert result.mutual == {}
+        assert result.heard == {}
+
+    def test_identification_only_after_rendezvous_slot(self):
+        # Schedules only coincide at slots where both play channel 9.
+        a = Agent("a", CyclicSchedule([1, 9]))
+        b = Agent("b", CyclicSchedule([2, 9]))
+        result = ChirpAndListen([a, b], seed=5).run(100)
+        t = result.mutual_identification_time("a", "b")
+        assert t is not None
+        assert t % 2 == 1  # coincidences happen at odd slots only
+
+
+class TestCollisions:
+    def test_dense_group_slower_than_pair(self):
+        """With many agents piled on one channel, chirp collisions delay
+        identification — the effect the model exists to show."""
+        pair = _pair_on_shared_channel(seed=7).run(4000)
+        crowd_agents = [Agent(f"agent{i}", ConstantSchedule(5)) for i in range(8)]
+        crowd = ChirpAndListen(crowd_agents, seed=7).run(4000)
+        pair_time = pair.mutual_identification_time("a", "b")
+        crowd_times = [
+            crowd.mutual_identification_time(f"agent{i}", f"agent{j}")
+            for i in range(8)
+            for j in range(i + 1, 8)
+        ]
+        assert all(t is not None for t in crowd_times)
+        assert max(crowd_times) > pair_time
+
+    def test_sole_chirp_probability(self):
+        cl = _pair_on_shared_channel()
+        assert cl.sole_chirp_probability(1) == 0.5
+        assert cl.sole_chirp_probability(3) == 0.125
+        with pytest.raises(ValueError):
+            cl.sole_chirp_probability(0)
+
+    def test_empirical_sole_chirp_rate(self):
+        """Measured sole-chirp frequency for a 4-crowd ~ g * 2^-g = 0.25."""
+        agents = [Agent(f"x{i}", ConstantSchedule(3)) for i in range(4)]
+        cl = ChirpAndListen(agents, seed=11)
+        horizon = 4000
+        events = 0
+        for t in range(horizon):
+            chirpers = [a for a in agents if cl._chirps(a.name, t)]
+            if len(chirpers) == 1:
+                events += 1
+        rate = events / horizon
+        assert 0.18 <= rate <= 0.32
+
+
+class TestEndToEnd:
+    def test_paper_schedules_with_handshake(self):
+        """Full pipeline: Theorem 3 schedules + chirp-and-listen; every
+        overlapping pair mutually identifies."""
+        import repro
+
+        n = 16
+        sets = [{1, 5}, {5, 9}, {1, 9}]
+        agents = [
+            Agent(f"radio{i}", repro.build_schedule(s, n), wake_time=3 * i)
+            for i, s in enumerate(sets)
+        ]
+        result = ChirpAndListen(agents, seed=2).run(30_000)
+        for i in range(3):
+            for j in range(i + 1, 3):
+                assert result.mutual_identification_time(
+                    f"radio{i}", f"radio{j}"
+                ) is not None, (i, j)

@@ -1,0 +1,44 @@
+"""Tests for TTR metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.metrics import summarize_ttrs
+
+
+class TestSummarize:
+    def test_single_sample(self):
+        stats = summarize_ttrs([7])
+        assert stats.count == 1
+        assert stats.mean == 7
+        assert stats.median == 7
+        assert stats.maximum == 7
+        assert stats.minimum == 7
+
+    def test_known_distribution(self):
+        stats = summarize_ttrs([1, 2, 3, 4, 5])
+        assert stats.mean == 3
+        assert stats.median == 3
+        assert stats.maximum == 5
+        assert stats.minimum == 1
+
+    def test_percentile_interpolation(self):
+        stats = summarize_ttrs([0, 10])
+        assert stats.median == 5
+        assert stats.p95 == 9.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_ttrs([])
+
+    def test_as_row(self):
+        row = summarize_ttrs([1, 2, 3]).as_row()
+        assert row["count"] == 3
+        assert row["mean"] == 2.0
+        assert set(row) == {"count", "mean", "median", "p95", "max", "min"}
+
+    def test_unsorted_input(self):
+        stats = summarize_ttrs([5, 1, 3])
+        assert stats.minimum == 1
+        assert stats.maximum == 5

@@ -1,0 +1,120 @@
+"""Tests for the multi-agent simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.core.schedule import ConstantSchedule, CyclicSchedule
+from repro.sim.agent import Agent
+from repro.sim.network import Network
+
+
+class TestNetworkBasics:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="unique"):
+            Network([Agent("x", ConstantSchedule(1)), Agent("x", ConstantSchedule(1))])
+
+    def test_bad_horizon(self):
+        with pytest.raises(ValueError):
+            Network([Agent("x", ConstantSchedule(1))]).run(0)
+
+    def test_immediate_rendezvous(self):
+        net = Network(
+            [Agent("a", ConstantSchedule(3)), Agent("b", ConstantSchedule(3))]
+        )
+        result = net.run(10)
+        event = result.events[("a", "b")]
+        assert event.time == 0
+        assert event.ttr == 0
+        assert event.channel == 3
+
+    def test_ttr_measured_from_later_wake(self):
+        net = Network(
+            [
+                Agent("a", ConstantSchedule(3), wake_time=0),
+                Agent("b", ConstantSchedule(3), wake_time=7),
+            ]
+        )
+        event = net.run(20).events[("a", "b")]
+        assert event.time == 7
+        assert event.ttr == 0
+
+    def test_disjoint_sets_never_meet(self):
+        net = Network(
+            [Agent("a", ConstantSchedule(1)), Agent("b", ConstantSchedule(2))]
+        )
+        result = net.run(100)
+        assert result.events == {}
+        assert result.overlapping_pairs() == []
+        assert result.all_discovered()
+
+    def test_first_meeting_only(self):
+        a = Agent("a", CyclicSchedule([1, 2]))
+        b = Agent("b", CyclicSchedule([1, 2]))
+        result = Network([a, b]).run(50)
+        assert result.events[("a", "b")].time == 0
+
+    def test_chunked_scan_consistency(self):
+        a = Agent("a", CyclicSchedule([1, 2, 3, 4, 5]), wake_time=3)
+        b = Agent("b", CyclicSchedule([9, 9, 9, 5, 9]), wake_time=0)
+        big = Network([a, b]).run(1000)
+        small = Network([a, b]).run(1000, chunk=7)
+        assert big.events == small.events
+
+
+class TestSimulationResult:
+    def _three_agents(self):
+        # Pairwise overlapping; all three coincide on channel 1 at t=1.
+        return [
+            Agent("a", CyclicSchedule([1, 1, 2])),
+            Agent("b", CyclicSchedule([2, 1, 3])),
+            Agent("c", CyclicSchedule([3, 1, 1])),
+        ]
+
+    def test_overlapping_pairs(self):
+        result = Network(self._three_agents()).run(10)
+        assert result.overlapping_pairs() == [("a", "b"), ("a", "c"), ("b", "c")]
+
+    def test_discovery_time(self):
+        result = Network(self._three_agents()).run(50)
+        assert result.all_discovered()
+        assert result.discovery_time() == max(e.time for e in result.events.values())
+
+    def test_unmet_pairs_reported(self):
+        # Out-of-phase alternation never meets.
+        agents = [
+            Agent("a", CyclicSchedule([1, 2])),
+            Agent("b", CyclicSchedule([2, 1])),
+        ]
+        result = Network(agents).run(40)
+        assert result.unmet_pairs() == [("a", "b")]
+        assert result.discovery_time() is None
+
+
+class TestEndToEndPaperSchedules:
+    def test_paper_schedules_full_discovery(self):
+        """Five agents with overlapping sets, paper algorithm: everyone
+        discovers everyone within the analytic bound."""
+        n = 16
+        sets = [
+            {1, 5, 9},
+            {5, 11},
+            {9, 11, 14},
+            {1, 14},
+            {5, 9, 14},
+        ]
+        agents = [
+            Agent(f"agent{i}", repro.build_schedule(s, n), wake_time=13 * i)
+            for i, s in enumerate(sets)
+        ]
+        result = Network(agents).run(60_000)
+        assert result.all_discovered(), result.unmet_pairs()
+
+    def test_meeting_channel_is_common(self):
+        n = 16
+        a = Agent("a", repro.build_schedule({3, 7}, n))
+        b = Agent("b", repro.build_schedule({7, 12}, n), wake_time=5)
+        result = Network([a, b]).run(10_000)
+        event = result.events[("a", "b")]
+        assert event.channel == 7

@@ -1,0 +1,68 @@
+"""Tests for the experiment runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.schedule import CyclicSchedule
+from repro.sim import runner
+from repro.sim.workloads import Instance, random_subsets, single_overlap
+
+
+class TestShiftPlan:
+    def test_deterministic(self):
+        a, b = CyclicSchedule([1, 2, 3]), CyclicSchedule([3, 2, 1])
+        assert runner.shift_plan(a, b, seed=5) == runner.shift_plan(a, b, seed=5)
+
+    def test_dense_prefix(self):
+        a, b = CyclicSchedule(list(range(100))), CyclicSchedule(list(range(100)))
+        plan = runner.shift_plan(a, b, dense=10, probes=0)
+        assert plan == list(range(10))
+
+    def test_probes_within_joint_period(self):
+        a, b = CyclicSchedule([1] * 50), CyclicSchedule([1] * 20)
+        plan = runner.shift_plan(a, b, dense=0, probes=30, seed=1)
+        assert len(plan) == 30
+        assert all(0 <= s < 50 for s in plan)
+
+
+class TestMeasurePairwise:
+    def test_paper_algorithm_single_overlap(self):
+        inst = single_overlap(16, 3, 3, seed=2)
+        measured = runner.measure_pairwise(
+            inst, "paper", (0, 1), horizon=50_000, dense=16, probes=16
+        )
+        assert measured.algorithm == "paper"
+        assert measured.worst_ttr == measured.stats.maximum
+        assert measured.stats.count == 32
+
+    def test_miss_raises(self):
+        # Two disjoint sets passed explicitly as a pair: runner must
+        # detect the miss and raise, not silently continue.
+        inst = Instance(8, [frozenset({1}), frozenset({2})], "manual")
+        with pytest.raises(AssertionError, match="missed rendezvous"):
+            runner.measure_pairwise(inst, "paper", (0, 1), horizon=200)
+
+    @pytest.mark.parametrize("algorithm", ["paper", "crseq", "jump-stay", "random"])
+    def test_all_algorithms_measurable(self, algorithm):
+        inst = single_overlap(8, 2, 2, seed=1)
+        measured = runner.measure_pairwise(
+            inst, algorithm, (0, 1), horizon=100_000, dense=8, probes=8
+        )
+        assert measured.worst_ttr >= 0
+
+
+class TestMeasureInstance:
+    def test_all_pairs_measured(self):
+        inst = random_subsets(16, 4, 4, seed=3)
+        results = runner.measure_instance(
+            inst, "paper", horizon=60_000, dense=4, probes=4
+        )
+        assert len(results) == len(inst.overlapping_pairs())
+
+    def test_max_pairs_cap(self):
+        inst = random_subsets(16, 8, 5, seed=4)
+        results = runner.measure_instance(
+            inst, "paper", horizon=60_000, max_pairs=2, dense=2, probes=2
+        )
+        assert len(results) == 2

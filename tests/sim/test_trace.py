@@ -1,0 +1,64 @@
+"""Tests for the channel-time trace renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.schedule import ConstantSchedule, CyclicSchedule
+from repro.sim.agent import Agent
+from repro.sim.trace import render_trace
+
+
+class TestRenderTrace:
+    def test_single_agent_row(self):
+        agent = Agent("solo", CyclicSchedule([2, 5]))
+        out = render_trace([agent], 0, 4)
+        lines = out.split("\n")
+        assert lines[0].startswith("5 |")
+        assert lines[1].startswith("2 |")
+        assert lines[1][len("2 |"):] == "a a "
+        assert lines[0][len("5 |"):] == " a a"
+
+    def test_rendezvous_marked(self):
+        a = Agent("a", ConstantSchedule(3))
+        b = Agent("b", ConstantSchedule(3))
+        out = render_trace([a, b], 0, 3)
+        assert "***" in out
+
+    def test_sleep_left_blank(self):
+        a = Agent("late", ConstantSchedule(1), wake_time=2)
+        out = render_trace([a], 0, 4)
+        row = out.split("\n")[0]
+        assert row.endswith("  aa")
+
+    def test_channel_filter(self):
+        a = Agent("a", CyclicSchedule([1, 9]))
+        out = render_trace([a], 0, 4, channels=[1])
+        assert "9 |" not in out
+        assert "1 |" in out
+
+    def test_legend_present(self):
+        a = Agent("alice", ConstantSchedule(0))
+        out = render_trace([a], 0, 2)
+        assert "a=alice" in out
+        assert "* = rendezvous" in out
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            render_trace([Agent("a", ConstantSchedule(0))], 5, 5)
+
+    def test_too_many_agents_rejected(self):
+        agents = [Agent(f"agent{i}", ConstantSchedule(0)) for i in range(27)]
+        with pytest.raises(ValueError, match="too many"):
+            render_trace(agents, 0, 1)
+
+    def test_paper_schedules_render(self):
+        import repro
+
+        n = 16
+        a = Agent("a", repro.build_schedule({3, 7}, n))
+        b = Agent("b", repro.build_schedule({7, 12}, n), wake_time=2)
+        out = render_trace([a, b], 0, 60)
+        assert "7 |" in out
+        # Somewhere in 60 slots they meet on channel 7 (period is 32ish).
+        assert "*" in out

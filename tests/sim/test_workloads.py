@@ -1,0 +1,137 @@
+"""Tests for the workload generators."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim import workloads as wl
+
+
+class TestInstance:
+    def test_rejects_empty_set(self):
+        with pytest.raises(ValueError, match="empty"):
+            wl.Instance(4, [frozenset()], "test")
+
+    def test_rejects_out_of_universe(self):
+        with pytest.raises(ValueError, match="outside"):
+            wl.Instance(4, [frozenset({5})], "test")
+
+    def test_overlapping_pairs(self):
+        inst = wl.Instance(
+            8, [frozenset({1, 2}), frozenset({2, 3}), frozenset({5})], "test"
+        )
+        assert inst.overlapping_pairs() == [(0, 1)]
+
+    def test_num_agents(self):
+        inst = wl.Instance(8, [frozenset({1})] * 3, "test")
+        assert inst.num_agents == 3
+
+
+class TestRandomSubsets:
+    def test_sizes(self):
+        inst = wl.random_subsets(16, 4, 10, seed=1)
+        assert all(len(s) == 4 for s in inst.sets)
+
+    def test_deterministic(self):
+        assert wl.random_subsets(16, 4, 5, seed=2).sets == wl.random_subsets(
+            16, 4, 5, seed=2
+        ).sets
+
+    def test_seed_changes_outcome(self):
+        assert wl.random_subsets(16, 4, 5, seed=1).sets != wl.random_subsets(
+            16, 4, 5, seed=2
+        ).sets
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wl.random_subsets(4, 5, 1)
+
+    @given(st.integers(2, 64), st.data())
+    def test_subsets_within_universe(self, n, data):
+        k = data.draw(st.integers(1, n))
+        inst = wl.random_subsets(n, k, 4, seed=7)
+        for s in inst.sets:
+            assert s <= frozenset(range(n))
+
+
+class TestSingleOverlap:
+    def test_exactly_one_common(self):
+        inst = wl.single_overlap(32, 5, 7, seed=3)
+        a, b = inst.sets
+        assert len(a) == 5 and len(b) == 7
+        assert len(a & b) == 1
+
+    def test_too_large_rejected(self):
+        with pytest.raises(ValueError):
+            wl.single_overlap(8, 5, 5)
+
+
+class TestSymmetric:
+    def test_all_identical(self):
+        inst = wl.symmetric(16, 3, 5, seed=0)
+        assert len(set(inst.sets)) == 1
+        assert len(inst.sets) == 5
+
+
+class TestCoalitionBands:
+    def test_band_structure(self):
+        inst = wl.coalition_bands(
+            64, band_width=8, agents_per_band=3, num_bands=4, overlap=2, seed=0
+        )
+        assert inst.num_agents == 12
+        stride = 6
+        for idx, s in enumerate(inst.sets):
+            band = idx // 3
+            lo = band * stride
+            assert s <= set(range(lo, lo + 8))
+
+    def test_adjacent_bands_can_overlap(self):
+        inst = wl.coalition_bands(
+            64, band_width=8, agents_per_band=4, num_bands=4, overlap=2, seed=1
+        )
+        # With boundary channels forced, some cross-band pair overlaps.
+        cross = [
+            (i, j)
+            for i, j in inst.overlapping_pairs()
+            if i // 4 != j // 4
+        ]
+        assert cross
+
+    def test_fit_validation(self):
+        with pytest.raises(ValueError):
+            wl.coalition_bands(16, band_width=8, agents_per_band=1, num_bands=4)
+        with pytest.raises(ValueError):
+            wl.coalition_bands(64, band_width=2, agents_per_band=1, num_bands=2, overlap=2)
+
+
+class TestWhitespace:
+    def test_anchor_guarantees_overlap(self):
+        inst = wl.whitespace(32, 6, seed=4)
+        anchor_sets = [s for s in inst.sets]
+        common = frozenset.intersection(*anchor_sets)
+        assert common  # the anchor channel is in every set
+
+    def test_asymmetry_occurs(self):
+        inst = wl.whitespace(64, 8, incumbent_load=0.3, sensing_noise=0.25, seed=5)
+        assert len(set(inst.sets)) > 1
+
+    def test_load_validation(self):
+        with pytest.raises(ValueError):
+            wl.whitespace(16, 2, incumbent_load=1.0)
+
+
+class TestNested:
+    def test_chain_is_nested(self):
+        inst = wl.nested(32, [2, 5, 9], seed=6)
+        a, b, c = inst.sets
+        assert a < b < c
+
+    def test_ordering_enforced(self):
+        with pytest.raises(ValueError):
+            wl.nested(32, [5, 2])
+
+    def test_size_limit(self):
+        with pytest.raises(ValueError):
+            wl.nested(4, [2, 8])

@@ -1,0 +1,119 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_bad_channel_list(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["schedule", "--channels", "1,x", "--universe", "8"]
+            )
+
+    def test_empty_channel_list(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["schedule", "--channels", "", "--universe", "8"]
+            )
+
+    def test_algorithm_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["schedule", "--channels", "1", "--universe", "8",
+                 "--algorithm", "quantum"]
+            )
+
+
+class TestScheduleCommand:
+    def test_prints_slots(self, capsys):
+        code = main(
+            ["schedule", "--channels", "3,7", "--universe", "16", "--slots", "8"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "period:" in out
+        slots = out.strip().split("slots:")[1].split()
+        assert len(slots) == 8
+        assert set(slots) <= {"3", "7"}
+
+    def test_baseline_algorithm(self, capsys):
+        code = main(
+            ["schedule", "--channels", "1,2", "--universe", "8",
+             "--algorithm", "crseq", "--slots", "5"]
+        )
+        assert code == 0
+        assert "crseq" in capsys.readouterr().out
+
+
+class TestRendezvousCommand:
+    def test_meeting_pair(self, capsys):
+        code = main(
+            ["rendezvous", "--a", "3,7", "--b", "7,11", "--universe", "16"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "common channels: [7]" in out
+        assert "TTR at shift 0:" in out
+        assert "analytic bound:" in out
+
+    def test_disjoint_pair_fails(self, capsys):
+        code = main(
+            ["rendezvous", "--a", "1,2", "--b", "5,6", "--universe", "16",
+             "--horizon", "500"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "no rendezvous" in out
+
+    def test_shift_respected(self, capsys):
+        code = main(
+            ["rendezvous", "--a", "3,7", "--b", "7,11", "--universe", "16",
+             "--shift", "29"]
+        )
+        assert code == 0
+        assert "shift 29" in capsys.readouterr().out
+
+
+class TestBoundCommand:
+    def test_prints_all_guarantees(self, capsys):
+        code = main(["bound", "--k", "3", "--l", "4", "--universe", "32"])
+        out = capsys.readouterr().out
+        assert code == 0
+        for label in ("Thm 3", "symmetric", "crseq", "jump-stay", "drds"):
+            assert label in out
+
+
+class TestSimulateCommand:
+    def test_full_discovery(self, capsys):
+        code = main(
+            ["simulate", "--agents", "1,5/5,9/1,9", "--universe", "16"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "all overlapping pairs met" in out
+        assert "agent0-agent1" in out
+
+    def test_insufficient_horizon_reports_unmet(self, capsys):
+        code = main(
+            ["simulate", "--agents", "1,5/5,9", "--universe", "16",
+             "--horizon", "2"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "unmet" in out
+
+
+class TestWalkCommand:
+    def test_plots(self, capsys):
+        code = main(["walk", "--bits", "110100"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "/" in out and "\\" in out

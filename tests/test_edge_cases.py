@@ -1,0 +1,149 @@
+"""Edge cases across the library: degenerate universes, extreme sets.
+
+The paper's math quietly assumes comfortable parameters; a library
+cannot.  These tests pin the behaviour at the corners: the two-channel
+universe, singleton sets, full-universe sets, and astronomically large
+universes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.baselines import BASELINE_NAMES
+from repro.core import bounds
+from repro.core.epoch import EpochSchedule
+from repro.core.pairwise import async_period, pair_schedule_async
+from repro.core.symmetric import SymmetricWrappedSchedule
+from repro.core.verification import ttr_for_shift, verify_guarantee
+
+
+class TestTinyUniverse:
+    def test_n2_pair_schedules_work(self):
+        """n=2 has a single possible 2-set; the palette has one color."""
+        a = pair_schedule_async(0, 1, 2)
+        b = pair_schedule_async(0, 1, 2)
+        ok, _, shift = verify_guarantee(a, b, async_period(2))
+        assert ok, shift
+
+    def test_n2_epoch_schedules(self):
+        a = EpochSchedule([0, 1], 2)
+        b = EpochSchedule([0], 2)
+        assert ttr_for_shift(a, b, 3, bounds.theorem3_async_bound(2, 1, 2)) is not None
+
+    @pytest.mark.parametrize("algorithm", ("paper",) + BASELINE_NAMES)
+    def test_n2_all_algorithms(self, algorithm):
+        a = repro.build_schedule([0, 1], 2, algorithm=algorithm)
+        b = repro.build_schedule([1], 2, algorithm=algorithm)
+        assert ttr_for_shift(a, b, 0, 200_000) is not None
+
+    def test_n3_smallest_odd(self):
+        a = EpochSchedule([0, 2], 3)
+        b = EpochSchedule([1, 2], 3)
+        bound = bounds.theorem3_async_bound(2, 2, 3)
+        for shift in range(0, 50):
+            assert ttr_for_shift(a, b, shift, bound + 1) is not None
+
+
+class TestSingletons:
+    def test_two_identical_singletons(self):
+        a = EpochSchedule([5], 16)
+        b = EpochSchedule([5], 16)
+        assert ttr_for_shift(a, b, 123, 2) == 0  # both always on 5
+
+    def test_singleton_wrapped(self):
+        s = SymmetricWrappedSchedule(EpochSchedule([5], 16))
+        assert set(s.materialize(0, 100)) == {5}
+
+    def test_disjoint_singletons_never_meet(self):
+        a = EpochSchedule([5], 16)
+        b = EpochSchedule([6], 16)
+        assert ttr_for_shift(a, b, 0, 10_000) is None
+
+
+class TestFullUniverseSets:
+    def test_full_set_schedules(self):
+        n = 8
+        a = EpochSchedule(range(n), n)
+        b = EpochSchedule(range(n), n)
+        bound = bounds.theorem3_async_bound(n, n, n)
+        for shift in (0, 1, 7, 1000):
+            assert ttr_for_shift(a, b, shift, bound + 1) is not None
+
+    def test_full_vs_singleton(self):
+        n = 8
+        a = EpochSchedule(range(n), n)
+        b = EpochSchedule([3], n)
+        bound = bounds.theorem3_async_bound(n, 1, n)
+        assert ttr_for_shift(a, b, 5, bound + 1) is not None
+
+    @pytest.mark.parametrize("algorithm", BASELINE_NAMES)
+    def test_full_sets_baselines(self, algorithm):
+        n = 8
+        a = repro.build_schedule(range(n), n, algorithm=algorithm)
+        b = repro.build_schedule(range(n), n, algorithm=algorithm)
+        assert ttr_for_shift(a, b, 11, 4 * a.period) is not None
+
+
+class TestHugeUniverse:
+    def test_pair_schedule_at_2_to_40(self):
+        n = 1 << 40
+        a = pair_schedule_async(123_456_789, 987_654_321_000, n)
+        b = pair_schedule_async(987_654_321_000, 42, n)
+        ok, worst, shift = verify_guarantee(a, b, async_period(n))
+        assert ok, shift
+        assert worst < async_period(n) <= 44
+
+    def test_epoch_schedule_at_2_to_40(self):
+        n = 1 << 40
+        common = 5_000_000_000
+        a = EpochSchedule([common, 17, 1 << 39], n)
+        b = EpochSchedule([common, (1 << 40) - 1], n)
+        bound = bounds.theorem3_async_bound(3, 2, n)
+        for shift in (0, 1, 12345):
+            ttr = ttr_for_shift(a, b, shift, bound + 1)
+            assert ttr is not None and ttr <= bound
+
+    def test_bounds_stay_small_at_huge_n(self):
+        # k=l=3 at n = 2^40: the bound is a few thousand slots, not n^2.
+        assert bounds.theorem3_async_bound(3, 3, 1 << 40) < 4000
+
+
+class TestWakeTimeExtremes:
+    def test_very_late_waker(self):
+        from repro.sim import Agent, Network
+
+        n = 16
+        a = Agent("early", repro.build_schedule({3, 7}, n), wake_time=0)
+        b = Agent("late", repro.build_schedule({7, 12}, n), wake_time=50_000)
+        result = Network([a, b]).run(70_000)
+        event = result.events[("early", "late")]
+        assert event.time >= 50_000
+        assert event.ttr <= bounds.theorem3_async_bound(2, 2, n)
+
+    def test_simultaneous_wake(self):
+        from repro.sim import Agent, Network
+
+        n = 16
+        agents = [
+            Agent("x", repro.build_schedule({1, 2}, n)),
+            Agent("y", repro.build_schedule({2, 3}, n)),
+        ]
+        result = Network(agents).run(10_000)
+        assert ("x", "y") in result.events
+
+
+class TestChannelNumbering:
+    def test_nonconsecutive_channels(self):
+        n = 1000
+        a = EpochSchedule([0, 999], n)
+        b = EpochSchedule([999], n)
+        assert ttr_for_shift(a, b, 77, 10_000) is not None
+
+    def test_channel_zero_everywhere(self):
+        """Channel 0 has empty bit set X_0 — the coloring must cope."""
+        n = 16
+        for other in range(1, n):
+            sched = pair_schedule_async(0, other, n)
+            assert sched.channels == {0, other}
