@@ -15,7 +15,7 @@ from repro.baselines.drds import sequence_period
 from repro.core.epoch import EpochSchedule, rendezvous_bound
 from repro.core.primes import primes_in_range, smallest_prime_at_least
 from repro.core.ramsey import edge_color
-from repro.core.verification import ttr_for_shift
+from repro.core.batch import ttr_sweep
 
 
 def test_ablation_color_choice(benchmark, record):
@@ -142,14 +142,10 @@ def test_ablation_sync_vs_async_epochs(benchmark, record):
         a_async = EpochSchedule([1, 5, 9], n)
         b_async = EpochSchedule([5, 11], n)
         bound = rendezvous_bound(a_async, b_async)
-        sync_misses = 0
-        for shift in range(1, 200):
-            if ttr_for_shift(a_sync, b_sync, shift, bound) is None:
-                sync_misses += 1
-        async_misses = 0
-        for shift in range(1, 200):
-            if ttr_for_shift(a_async, b_async, shift, bound) is None:
-                async_misses += 1
+        sync_profile = ttr_sweep(a_sync, b_sync, range(1, 200), bound)
+        sync_misses = sum(1 for ttr in sync_profile.values() if ttr is None)
+        async_profile = ttr_sweep(a_async, b_async, range(1, 200), bound)
+        async_misses = sum(1 for ttr in async_profile.values() if ttr is None)
         return (
             a_sync.epoch_length,
             a_async.epoch_length,

@@ -26,7 +26,7 @@ from repro.beacon import (
     SimpleBeaconProtocol,
     beacon_first_meeting,
 )
-from repro.core.verification import ttr_for_shift
+from repro.core.batch import ttr_sweep
 from repro.sim.workloads import single_overlap
 
 N = 64
@@ -38,12 +38,9 @@ def _deterministic_mean(k: int) -> float:
     instance = single_overlap(N, k, k, seed=11)
     a = repro.build_schedule(instance.sets[0], N)
     b = repro.build_schedule(instance.sets[1], N)
-    ttrs = []
-    for shift in range(0, 4400, 401):
-        ttr = ttr_for_shift(a, b, shift, 10**6)
-        assert ttr is not None
-        ttrs.append(ttr)
-    return statistics.mean(ttrs)
+    profile = ttr_sweep(a, b, range(0, 4400, 401), 10**6)
+    assert all(ttr is not None for ttr in profile.values())
+    return statistics.mean(profile.values())
 
 
 def _beacon_mean(cls, k: int) -> float:

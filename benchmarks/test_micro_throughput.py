@@ -2,19 +2,28 @@
 
 Not a paper table — engineering numbers a downstream user cares about:
 how fast schedules are built and evaluated, and what the verification
-engine sustains.
+engine sustains.  ``test_batched_sweep_speedup`` is the acceptance gate
+for the batched engine: an exhaustive shift sweep at ``n = 64`` must run
+at least 5x faster than the scalar per-shift loop, and the measurement
+is persisted to ``results/BENCH_batched_sweep.json``.
 """
 
 from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
 
 import numpy as np
 
 import repro
 from repro.baselines.drds import build_global_sequence
+from repro.core.batch import ttr_sweep
 from repro.core.epoch import EpochSchedule
 from repro.core.pairwise import async_pair_string, pair_schedule_async
 from repro.core.ramsey import color_bits, edge_color
-from repro.core.verification import ttr_for_shift
+from repro.core.verification import exhaustive_shift_range, ttr_for_shift
+from repro.sim.workloads import single_overlap
 
 
 def test_build_epoch_schedule(benchmark):
@@ -50,6 +59,55 @@ def test_verification_scan(benchmark):
     a = pair_schedule_async(5, 40, n)
     b = pair_schedule_async(40, 63, n)
     benchmark(lambda: ttr_for_shift(a, b, 17, 10_000))
+
+
+def test_batched_sweep_speedup(benchmark, record):
+    """Exhaustive shift sweep, scalar loop vs the batched engine."""
+    n = 64
+    instance = single_overlap(n, 3, 3, seed=2)
+    a = repro.build_schedule(instance.sets[0], n)
+    b = repro.build_schedule(instance.sets[1], n)
+    shifts = list(exhaustive_shift_range(a, b))
+    horizon = 4 * max(a.period, b.period)
+
+    # Warm the period-table caches so neither side pays one-time
+    # construction inside its timed region, and take the scalar loop's
+    # best of three so the comparison is honest.
+    a.period_table(), b.period_table()
+    scalar = {s: ttr_for_shift(a, b, s, horizon) for s in shifts}
+    scalar_seconds = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        for s in shifts:
+            ttr_for_shift(a, b, s, horizon)
+        scalar_seconds = min(scalar_seconds, time.perf_counter() - start)
+
+    batched = benchmark(lambda: ttr_sweep(a, b, shifts, horizon))
+    assert batched == scalar, "batched engine must be bit-identical to scalar"
+
+    batched_seconds = benchmark.stats.stats.mean
+    speedup = scalar_seconds / batched_seconds
+    payload = {
+        "n": n,
+        "workload": "single_overlap(k=l=3, seed=2)",
+        "shifts": len(shifts),
+        "horizon": horizon,
+        "scalar_seconds": round(scalar_seconds, 6),
+        "batched_seconds": round(batched_seconds, 6),
+        "speedup": round(speedup, 2),
+    }
+    results_dir = Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    (results_dir / "BENCH_batched_sweep.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    record(
+        "micro_batched_sweep",
+        f"exhaustive sweep, n={n}, {len(shifts)} shifts: "
+        f"scalar {scalar_seconds * 1e3:.1f} ms, "
+        f"batched {batched_seconds * 1e3:.1f} ms ({speedup:.1f}x)",
+    )
+    assert speedup >= 5, f"batched sweep only {speedup:.1f}x faster than scalar"
 
 
 def test_drds_global_build(benchmark):

@@ -30,7 +30,7 @@ import pytest
 import repro
 from repro.analysis import format_table
 from repro.analysis.tables import scaling_exponent, table1
-from repro.core.verification import ttr_for_shift
+from repro.core.verification import max_ttr
 from repro.sim.workloads import single_overlap
 
 NS = (8, 16, 32)
@@ -49,12 +49,7 @@ def _schedules(algorithm: str, n: int, seed: int):
 def _worst_over_shifts(a, b) -> int:
     period = max(a.period, b.period)
     stride = max(1, period // MAX_SHIFTS)
-    worst = 0
-    for shift in range(0, period, stride):
-        ttr = ttr_for_shift(a, b, shift, horizon=4 * period, chunk=2048)
-        assert ttr is not None, f"missed at shift {shift}"
-        worst = max(worst, ttr)
-    return worst
+    return max_ttr(a, b, range(0, period, stride), 4 * period)
 
 
 @pytest.fixture(scope="module")

@@ -16,7 +16,8 @@ import pytest
 
 import repro
 from repro.analysis.tables import scaling_exponent, table1
-from repro.core.verification import ttr_for_shift
+from repro.core.batch import ttr_sweep
+from repro.core.verification import max_ttr
 from repro.sim.workloads import symmetric
 
 NS = (8, 16, 32)
@@ -30,12 +31,8 @@ def _worst_symmetric_ttr(algorithm: str, n: int, shifts) -> int:
     a = repro.build_schedule(instance.sets[0], n, algorithm=algorithm)
     b = repro.build_schedule(instance.sets[1], n, algorithm=algorithm)
     horizon = 4 * max(a.period, b.period)
-    worst = 0
-    for shift in shifts:
-        ttr = ttr_for_shift(a, b, shift % max(a.period, b.period), horizon, chunk=2048)
-        assert ttr is not None, (algorithm, n, shift)
-        worst = max(worst, ttr)
-    return worst
+    folded = [shift % max(a.period, b.period) for shift in shifts]
+    return max_ttr(a, b, folded, horizon)
 
 
 @pytest.fixture(scope="module")
@@ -86,9 +83,10 @@ def test_symmetric_O1_deep_universe(benchmark, record):
         instance = symmetric(n, 4, 2, seed=9)
         a = repro.build_schedule(instance.sets[0], n, algorithm="paper-symmetric")
         b = repro.build_schedule(instance.sets[1], n, algorithm="paper-symmetric")
+        shifts = list(range(0, 300)) + [10_007, 123_456, 999_983]
+        profile = ttr_sweep(a, b, shifts, 13)
         worst = 0
-        for shift in list(range(0, 300)) + [10_007, 123_456, 999_983]:
-            ttr = ttr_for_shift(a, b, shift, 13, chunk=64)
+        for shift, ttr in profile.items():
             assert ttr is not None and ttr <= 12, (shift, ttr)
             worst = max(worst, ttr)
         return worst

@@ -20,7 +20,7 @@ from repro.beacon import (
     SimpleBeaconProtocol,
     beacon_first_meeting,
 )
-from repro.core.verification import ttr_for_shift
+from repro.core.batch import ttr_sweep
 from repro.sim import single_overlap
 
 
@@ -36,10 +36,7 @@ def main() -> None:
     # Deterministic paper schedule: worst over sampled wake offsets.
     a = repro.build_schedule(a_set, n)
     b = repro.build_schedule(b_set, n)
-    det_ttrs = [
-        ttr_for_shift(a, b, shift, 10**6)
-        for shift in range(0, 4000, 131)
-    ]
+    det_ttrs = list(ttr_sweep(a, b, range(0, 4000, 131), 10**6).values())
     rows.append(
         ["paper (no beacon)", "0 bits",
          f"{statistics.mean(det_ttrs):.0f}", max(det_ttrs)]

@@ -44,6 +44,8 @@ def main() -> None:
           f"(TTR {event.ttr} slots after both awake)")
 
     # --- worst case over shifts vs the analytic bound -------------------
+    # max_ttr sweeps every shift in one batched pass (repro.core.batch);
+    # ttr_sweep exposes the full profile when the distribution matters.
     bound = rendezvous_bound(alice, bob)
     worst = repro.max_ttr(alice, bob, range(0, 2000, 7), horizon=bound + 1)
     print(f"worst TTR over sampled shifts: {worst}  (analytic bound {bound})")

@@ -1,8 +1,10 @@
 """Legacy setup shim.
 
-The offline build environment lacks the ``wheel`` package, so editable
-installs must go through ``setup.py develop``; all real metadata lives in
-``pyproject.toml``.
+All real metadata lives in ``pyproject.toml`` (src layout, numpy
+dependency); ``pip install -e .`` works wherever the ``wheel`` package
+is available.  The offline build environment lacks ``wheel``, so
+editable installs there go through ``python setup.py develop``, which
+this shim keeps working.
 """
 
 from setuptools import setup

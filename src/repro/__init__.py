@@ -35,6 +35,7 @@ from repro.core import (
     rendezvous_bound,
     sync_period,
 )
+from repro.core.batch import ttr_sweep
 from repro.core.verification import (
     first_rendezvous,
     max_ttr,
@@ -61,6 +62,7 @@ __all__ = [
     "first_rendezvous",
     "ttr_for_shift",
     "ttr_profile",
+    "ttr_sweep",
     "max_ttr",
     "verify_guarantee",
     "__version__",

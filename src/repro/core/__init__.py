@@ -22,6 +22,9 @@ schedule
     Schedule abstractions shared by all constructions.
 verification
     Executable rendezvous-time definitions (Section 2).
+batch
+    Batched shift-sweep engine: whole TTR profiles in one vectorized
+    pass over a ``(shift, time)`` coincidence matrix.
 """
 
 from repro.core.epoch import EpochSchedule, rendezvous_bound

@@ -1,0 +1,160 @@
+"""Batched shift-sweep verification engine.
+
+The scalar path in :mod:`repro.core.verification` answers "when do these
+two schedules first coincide at relative shift ``s``?" one shift at a
+time, re-materializing schedule windows per call.  Benchmarks sweep
+thousands of shifts per pair, so this module computes the whole profile
+in one vectorized pass:
+
+* both schedules are materialized **once** over a full period
+  (:meth:`~repro.core.schedule.Schedule.period_table`);
+* a shift only enters the comparison through the pair of phase offsets
+  ``(s mod period_A, 0)`` (``s >= 0``: B wakes later) or
+  ``(0, -s mod period_B)`` (``s < 0``), so shifts are deduplicated down
+  to their distinct offset pairs before any work happens;
+* for a block of offsets and a block of time, the ``(shift, time)``
+  coincidence matrix is assembled from *window views* of the tiled
+  period tables (:func:`numpy.lib.stride_tricks.sliding_window_view` —
+  one row-gather per block instead of per-element modular indexing) and
+  scanned with ``any``/``argmax``;
+* time blocks grow geometrically (most shifts rendezvous early; rows
+  that already hit drop out of later blocks) and the block area is
+  capped by ``max_cells`` so memory stays bounded for huge sweeps;
+* the scan stops at ``lcm(period_A, period_B)`` slots even when the
+  caller's horizon is larger: the joint pattern is periodic, so a shift
+  silent for a full joint period never rendezvouses.
+
+Schedules whose period exceeds ``BATCH_TABLE_LIMIT`` (Jump-Stay's cubic
+period at large ``n``) fall back to the scalar engine — correctness
+never depends on the fast path.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro.core import schedule as _schedule
+from repro.core.schedule import Schedule
+
+__all__ = ["ttr_sweep", "BATCH_TABLE_LIMIT"]
+
+# Largest period (slots) worth materializing as a full table; beyond it
+# the per-shift scalar path is used.  Shares the schedule cache limit so
+# the fast path never sweeps against tables period_table() won't cache.
+BATCH_TABLE_LIMIT = _schedule._CACHE_LIMIT
+
+_INITIAL_TIME_BLOCK = 256
+
+
+def ttr_sweep(
+    a: Schedule,
+    b: Schedule,
+    shifts: Iterable[int],
+    horizon: int,
+    max_cells: int = 1 << 21,
+) -> dict[int, int | None]:
+    """TTR for every relative shift, in one batched pass.
+
+    Semantics are identical to calling
+    :func:`repro.core.verification.ttr_for_shift` per shift: the result
+    maps each shift to the first slot (counted from the later wake-up)
+    where the schedules coincide, or ``None`` when no coincidence occurs
+    within ``horizon`` slots.  ``max_cells`` bounds the area of any
+    single ``(shift, time)`` block, which bounds peak memory.
+    """
+    shift_list = [int(s) for s in shifts]
+    if not shift_list:
+        return {}
+    if horizon <= 0:
+        return {s: None for s in shift_list}
+    if a.period > BATCH_TABLE_LIMIT or b.period > BATCH_TABLE_LIMIT:
+        return _scalar_sweep(a, b, shift_list, horizon)
+
+    arr = np.asarray(shift_list, dtype=np.int64)
+    off_a = np.where(arr >= 0, arr, 0) % a.period
+    off_b = np.where(arr < 0, -arr, 0) % b.period
+    # Distinct offset pairs are the real work items: an exhaustive sweep
+    # over lcm(Pa, Pb) shifts collapses to at most Pa (or Pb) rows.
+    pairs = np.stack([off_a, off_b], axis=1)
+    unique_pairs, inverse = np.unique(pairs, axis=0, return_inverse=True)
+    inverse = inverse.reshape(-1)  # numpy 2.0.x returns it (n, 1)-shaped
+
+    # The joint pattern repeats every lcm slots: nothing new after that.
+    effective = min(horizon, math.lcm(a.period, b.period))
+    ttrs = _profile_offsets(
+        a.period_table(),
+        b.period_table(),
+        unique_pairs[:, 0],
+        unique_pairs[:, 1],
+        effective,
+        max_cells,
+    )
+    scattered = ttrs[inverse]
+    return {
+        s: None if t < 0 else int(t)
+        for s, t in zip(shift_list, scattered.tolist())
+    }
+
+
+def _scalar_sweep(
+    a: Schedule, b: Schedule, shifts: list[int], horizon: int
+) -> dict[int, int | None]:
+    from repro.core.verification import ttr_for_shift
+
+    return {s: ttr_for_shift(a, b, s, horizon) for s in shifts}
+
+
+def _windows(table: np.ndarray, starts: np.ndarray, length: int) -> np.ndarray:
+    """Rows ``table[(start + t) % period]`` for ``t < length``, batched.
+
+    Tiles the period table far enough to cover ``max(starts) + length``
+    and gathers one contiguous window per start from a strided view —
+    a row memcpy per window rather than a modular index per element.
+    """
+    period = table.size
+    if starts.size and starts.min() == starts.max():
+        start = int(starts[0])
+        reps = -(-(start + length) // period)
+        row = np.tile(table, reps)[start : start + length]
+        return row[np.newaxis, :]
+    reps = -(-(period + length) // period)
+    tiled = np.tile(table, reps)
+    return sliding_window_view(tiled, length)[starts]
+
+
+def _profile_offsets(
+    table_a: np.ndarray,
+    table_b: np.ndarray,
+    off_a: np.ndarray,
+    off_b: np.ndarray,
+    horizon: int,
+    max_cells: int,
+) -> np.ndarray:
+    """First-coincidence slot per offset pair; ``-1`` marks a miss."""
+    num = off_a.size
+    result = np.full(num, -1, dtype=np.int64)
+    shift_block = max(1, max_cells // _INITIAL_TIME_BLOCK)
+    for lo in range(0, num, shift_block):
+        hi = min(lo + shift_block, num)
+        remaining = np.arange(lo, hi)
+        t0 = 0
+        block = min(_INITIAL_TIME_BLOCK, horizon, max(1, max_cells // (hi - lo)))
+        while t0 < horizon and remaining.size:
+            t1 = min(t0 + block, horizon)
+            length = t1 - t0
+            wa = _windows(table_a, (off_a[remaining] + t0) % table_a.size, length)
+            wb = _windows(table_b, (off_b[remaining] + t0) % table_b.size, length)
+            eq = wa == wb
+            hit = eq.any(axis=1)
+            if hit.any():
+                result[remaining[hit]] = t0 + eq[hit].argmax(axis=1)
+                remaining = remaining[~hit]
+            t0 = t1
+            # Survivors are the slow rows: widen the time window so the
+            # scan stays O(horizon) passes, within the memory budget.
+            block = min(block * 2, max(1, max_cells // max(remaining.size, 1)))
+    return result

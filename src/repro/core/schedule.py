@@ -58,6 +58,17 @@ class Schedule:
         indices = np.arange(start, stop, dtype=np.int64) % self.period
         return period_array[indices]
 
+    def period_table(self) -> np.ndarray:
+        """One full period of the schedule as a shared int64 array.
+
+        This is the bulk-materialization hook the batched verification
+        engine builds on: the table is computed once per schedule (and
+        cached for periods up to ``_CACHE_LIMIT``), after which any
+        window of the infinite schedule is a view/tile of it.  Callers
+        must treat the returned array as read-only.
+        """
+        return self._period_array()
+
     def _period_array(self) -> np.ndarray:
         cached = getattr(self, "_period_array_cache", None)
         if cached is not None:

@@ -15,7 +15,11 @@ the shift with period ``lcm(periods)``; checking shifts in
 ``[0, lcm)`` in both directions is therefore *exhaustive* — the tests use
 this to certify guarantees, not just sample them.
 
-All scans are vectorized over numpy windows.
+All scans are vectorized over numpy windows.  Multi-shift queries
+(``ttr_profile``, ``max_ttr``, ``verify_guarantee``) are computed by the
+batched engine in :mod:`repro.core.batch`, which sweeps every shift in
+one vectorized pass; ``ttr_for_shift`` remains the independent scalar
+reference path the batched engine is parity-tested against.
 """
 
 from __future__ import annotations
@@ -25,6 +29,7 @@ from collections.abc import Iterable
 
 import numpy as np
 
+from repro.core import batch
 from repro.core.schedule import Schedule
 
 __all__ = [
@@ -87,7 +92,7 @@ def ttr_profile(
     horizon: int,
 ) -> dict[int, int | None]:
     """TTR for each relative shift; ``None`` marks a miss within horizon."""
-    return {shift: ttr_for_shift(a, b, shift, horizon) for shift in shifts}
+    return batch.ttr_sweep(a, b, shifts, horizon)
 
 
 def exhaustive_shift_range(a: Schedule, b: Schedule) -> range:
@@ -137,9 +142,14 @@ def verify_guarantee(
     if shifts is None:
         shifts = exhaustive_shift_range(a, b)
     worst = -1
-    for shift in shifts:
-        ttr = ttr_for_shift(a, b, shift, bound + 1)
-        if ttr is None or ttr > bound:
-            return False, worst, shift
-        worst = max(worst, ttr)
-    return True, worst, None
+    shift_iter = iter(shifts)
+    while True:
+        pending = [s for _, s in zip(range(4096), shift_iter)]
+        if not pending:
+            return True, worst, None
+        profile = batch.ttr_sweep(a, b, pending, bound + 1)
+        for shift in pending:
+            ttr = profile[shift]
+            if ttr is None or ttr > bound:
+                return False, worst, shift
+            worst = max(worst, ttr)

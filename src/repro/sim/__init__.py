@@ -11,10 +11,11 @@ from repro.sim.agent import ASLEEP, Agent
 from repro.sim.events import RendezvousEvent
 from repro.sim.handshake import ChirpAndListen, HandshakeResult
 from repro.sim.trace import render_trace
-from repro.sim.metrics import TTRStats, summarize_ttrs
+from repro.sim.metrics import TTRStats, summarize_profile, summarize_ttrs
 from repro.sim.network import Network, SimulationResult
 from repro.sim.runner import (
     MeasuredPair,
+    SweepRunner,
     measure_instance,
     measure_pairwise,
     shift_plan,
@@ -40,6 +41,7 @@ __all__ = [
     "SimulationResult",
     "TTRStats",
     "summarize_ttrs",
+    "summarize_profile",
     "Instance",
     "random_subsets",
     "single_overlap",
@@ -48,6 +50,7 @@ __all__ = [
     "whitespace",
     "nested",
     "MeasuredPair",
+    "SweepRunner",
     "measure_pairwise",
     "measure_instance",
     "shift_plan",

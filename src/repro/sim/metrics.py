@@ -3,10 +3,10 @@
 from __future__ import annotations
 
 import math
-from collections.abc import Iterable
+from collections.abc import Iterable, Mapping
 from dataclasses import dataclass
 
-__all__ = ["TTRStats", "summarize_ttrs"]
+__all__ = ["TTRStats", "summarize_ttrs", "summarize_profile"]
 
 
 @dataclass(frozen=True)
@@ -42,6 +42,19 @@ def _percentile(ordered: list[int], q: float) -> float:
     hi = math.ceil(position)
     frac = position - lo
     return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+
+def summarize_profile(
+    profile: Mapping[int, int | None],
+) -> tuple[TTRStats | None, list[int]]:
+    """Summarize a shift -> TTR profile from the batched sweep engine.
+
+    Returns ``(stats over the shifts that rendezvoused, shifts that
+    missed)``; stats are ``None`` when every shift missed.
+    """
+    misses = sorted(s for s, ttr in profile.items() if ttr is None)
+    hits = [ttr for ttr in profile.values() if ttr is not None]
+    return (summarize_ttrs(hits) if hits else None), misses
 
 
 def summarize_ttrs(samples: Iterable[int]) -> TTRStats:

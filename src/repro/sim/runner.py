@@ -5,25 +5,60 @@ This is the measurement harness behind every benchmark table: given an
 one schedule per agent, measures pairwise time-to-rendezvous over a
 deterministic set of relative shifts, and aggregates.
 
+The heavy lifting happens in :class:`SweepRunner`:
+
+* schedules are cached per ``(channels, n, algorithm, seed)`` — in an
+  instance with many agents the same channel set is never rebuilt for
+  each pair it appears in;
+* every pair's shift sweep goes through the batched engine
+  (:func:`repro.core.batch.ttr_sweep`), one vectorized pass instead of a
+  Python loop over shifts;
+* instances with many pairs fan out across a
+  ``concurrent.futures.ProcessPoolExecutor`` (worker count configurable,
+  default ``os.cpu_count()``); small jobs stay serial, where the
+  schedule cache and warm numpy buffers beat process startup.
+
 Shift policy: the asynchronous guarantee quantifies over *all* relative
 wake-up offsets.  Exhaustive sweeps are only feasible for small periods,
 so `shift_plan` mixes structured shifts (0..S dense prefix) with seeded
 pseudo-random probes across the joint period — the same policy for every
-algorithm, so comparisons are fair.
+algorithm, so comparisons are fair.  Coincidence patterns are periodic
+in ``lcm(period_A, period_B)``, so probes are drawn from the full lcm
+(clamped to ``joint_cap``), not from ``max(period_A, period_B)``.
+
+The module-level ``shift_plan`` / ``measure_pairwise`` /
+``measure_instance`` functions are thin wrappers over a serial
+``SweepRunner`` and keep the original API.
 """
 
 from __future__ import annotations
 
+import math
+import os
 import random
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 import repro
+from repro.core.batch import ttr_sweep
 from repro.core.schedule import Schedule
-from repro.core.verification import ttr_for_shift
 from repro.sim.metrics import TTRStats, summarize_ttrs
 from repro.sim.workloads import Instance
 
-__all__ = ["MeasuredPair", "shift_plan", "measure_pairwise", "measure_instance"]
+__all__ = [
+    "MeasuredPair",
+    "SweepRunner",
+    "shift_plan",
+    "measure_pairwise",
+    "measure_instance",
+]
+
+# Probes never sample beyond this many shifts of the joint period: the
+# lcm of two large coprime periods can dwarf any meaningful sweep.
+DEFAULT_JOINT_CAP = 1 << 20
+
+# Below this many pairs a process pool costs more than it saves.
+MIN_PARALLEL_PAIRS = 8
 
 
 @dataclass(frozen=True)
@@ -42,10 +77,15 @@ def shift_plan(
     dense: int = 64,
     probes: int = 64,
     seed: int = 0,
+    joint_cap: int = DEFAULT_JOINT_CAP,
 ) -> list[int]:
-    """Deterministic shift schedule: dense prefix + seeded probes."""
+    """Deterministic shift schedule: dense prefix + seeded probes.
+
+    Probes are drawn from ``lcm(a.period, b.period)`` — the true period
+    of the joint coincidence pattern — clamped to ``joint_cap``.
+    """
     rng = random.Random(seed)
-    joint = max(a.period, b.period)
+    joint = min(math.lcm(a.period, b.period), joint_cap)
     shifts = list(range(min(dense, joint)))
     shifts += [rng.randrange(joint) for _ in range(probes)]
     return shifts
@@ -59,6 +99,132 @@ def _build(channels: frozenset[int], n: int, algorithm: str, seed: int) -> Sched
     return repro.build_schedule(channels, n, algorithm=algorithm)
 
 
+class SweepRunner:
+    """Batched, schedule-caching, optionally parallel sweep engine.
+
+    One runner owns a schedule cache and a worker budget; reuse a runner
+    across serial calls to amortize schedule construction over a whole
+    table.  The parallel path starts a fresh pool per call (workers keep
+    their own caches for the tasks that land on them), so it only pays
+    off for instances with many pairs — exactly when it engages.
+    """
+
+    def __init__(self, workers: int | None = None):
+        self.workers = os.cpu_count() or 1 if workers is None else max(1, workers)
+        self._schedules: dict[
+            tuple[frozenset[int], int, str, int], Schedule
+        ] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    def schedule_for(
+        self, channels: frozenset[int], n: int, algorithm: str, seed: int
+    ) -> Schedule:
+        """Build (or fetch) one agent's schedule.
+
+        Deterministic algorithms ignore the seed, so it only
+        discriminates cache entries for the randomized baseline.
+        """
+        key = (channels, n, algorithm, seed if algorithm == "random" else -1)
+        cached = self._schedules.get(key)
+        if cached is not None:
+            self.cache_hits += 1
+            return cached
+        self.cache_misses += 1
+        schedule = _build(channels, n, algorithm, seed)
+        self._schedules[key] = schedule
+        return schedule
+
+    def measure_pair(
+        self,
+        instance: Instance,
+        algorithm: str,
+        pair: tuple[int, int],
+        horizon: int,
+        dense: int = 64,
+        probes: int = 64,
+        seed: int = 0,
+    ) -> MeasuredPair:
+        """Measure TTR for one overlapping pair over the shift plan.
+
+        Raises ``AssertionError`` if any shift misses within ``horizon``
+        — deterministic algorithms must never miss when the horizon
+        exceeds their guarantee; the randomized baseline gets the same
+        horizon and is expected to make it with high probability.
+        """
+        i, j = pair
+        a = self.schedule_for(instance.sets[i], instance.n, algorithm, seed * 1000 + i)
+        b = self.schedule_for(instance.sets[j], instance.n, algorithm, seed * 1000 + j)
+        plan = shift_plan(a, b, dense=dense, probes=probes, seed=seed)
+        if not plan:
+            raise ValueError("empty shift plan: need dense > 0 or probes > 0")
+        profile = ttr_sweep(a, b, plan, horizon)
+        for shift in plan:
+            if profile[shift] is None:
+                raise AssertionError(
+                    f"{algorithm} missed rendezvous within {horizon} slots for "
+                    f"pair {pair} at shift {shift} "
+                    f"(sets {sorted(instance.sets[i])} / {sorted(instance.sets[j])})"
+                )
+        samples = [profile[shift] for shift in plan]
+        return MeasuredPair(algorithm, pair, max(samples), summarize_ttrs(samples))
+
+    def effective_workers(self, num_pairs: int) -> int:
+        """Process count a job of ``num_pairs`` pairs will actually use."""
+        if self.workers > 1 and num_pairs >= MIN_PARALLEL_PAIRS:
+            return self.workers
+        return 1
+
+    def measure_instance(
+        self,
+        instance: Instance,
+        algorithm: str,
+        horizon: int,
+        max_pairs: int | None = None,
+        dense: int = 64,
+        probes: int = 64,
+        seed: int = 0,
+    ) -> list[MeasuredPair]:
+        """Measure all (or the first ``max_pairs``) overlapping pairs.
+
+        Fans out across processes when the job is big enough; results
+        are returned in pair order either way.
+        """
+        pairs = instance.overlapping_pairs()
+        if max_pairs is not None:
+            pairs = pairs[:max_pairs]
+        if self.effective_workers(len(pairs)) > 1:
+            payloads = [
+                (instance, algorithm, pair, horizon, dense, probes, seed)
+                for pair in pairs
+            ]
+            chunk = max(1, len(payloads) // (self.workers * 4))
+            with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                return list(pool.map(_measure_pair_task, payloads, chunksize=chunk))
+        return [
+            self.measure_pair(
+                instance, algorithm, pair, horizon,
+                dense=dense, probes=probes, seed=seed,
+            )
+            for pair in pairs
+        ]
+
+
+# One runner per worker process, so the schedule cache survives across
+# the tasks that land on that worker.
+_WORKER_RUNNER: SweepRunner | None = None
+
+
+def _measure_pair_task(payload: tuple) -> MeasuredPair:
+    global _WORKER_RUNNER
+    if _WORKER_RUNNER is None:
+        _WORKER_RUNNER = SweepRunner(workers=1)
+    instance, algorithm, pair, horizon, dense, probes, seed = payload
+    return _WORKER_RUNNER.measure_pair(
+        instance, algorithm, pair, horizon, dense=dense, probes=probes, seed=seed
+    )
+
+
 def measure_pairwise(
     instance: Instance,
     algorithm: str,
@@ -68,27 +234,10 @@ def measure_pairwise(
     probes: int = 64,
     seed: int = 0,
 ) -> MeasuredPair:
-    """Measure TTR for one overlapping pair over the shift plan.
-
-    Raises ``AssertionError`` if any shift misses within ``horizon`` —
-    deterministic algorithms must never miss when the horizon exceeds
-    their guarantee; the randomized baseline gets the same horizon and is
-    expected to make it with high probability.
-    """
-    i, j = pair
-    a = _build(instance.sets[i], instance.n, algorithm, seed=seed * 1000 + i)
-    b = _build(instance.sets[j], instance.n, algorithm, seed=seed * 1000 + j)
-    samples = []
-    for shift in shift_plan(a, b, dense=dense, probes=probes, seed=seed):
-        ttr = ttr_for_shift(a, b, shift, horizon)
-        if ttr is None:
-            raise AssertionError(
-                f"{algorithm} missed rendezvous within {horizon} slots for "
-                f"pair {pair} at shift {shift} "
-                f"(sets {sorted(instance.sets[i])} / {sorted(instance.sets[j])})"
-            )
-        samples.append(ttr)
-    return MeasuredPair(algorithm, pair, max(samples), summarize_ttrs(samples))
+    """Measure one pair with a throwaway serial runner (legacy API)."""
+    return SweepRunner(workers=1).measure_pair(
+        instance, algorithm, pair, horizon, dense=dense, probes=probes, seed=seed
+    )
 
 
 def measure_instance(
@@ -99,14 +248,15 @@ def measure_instance(
     dense: int = 64,
     probes: int = 64,
     seed: int = 0,
+    workers: int | None = 1,
 ) -> list[MeasuredPair]:
-    """Measure all (or the first ``max_pairs``) overlapping pairs."""
-    pairs = instance.overlapping_pairs()
-    if max_pairs is not None:
-        pairs = pairs[:max_pairs]
-    return [
-        measure_pairwise(
-            instance, algorithm, pair, horizon, dense=dense, probes=probes, seed=seed
-        )
-        for pair in pairs
-    ]
+    """Measure an instance; ``workers=None`` uses every core."""
+    return SweepRunner(workers=workers).measure_instance(
+        instance,
+        algorithm,
+        horizon,
+        max_pairs=max_pairs,
+        dense=dense,
+        probes=probes,
+        seed=seed,
+    )

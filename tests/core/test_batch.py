@@ -1,0 +1,157 @@
+"""Parity tests: the batched sweep engine vs the scalar reference path.
+
+The contract is bit-identical profiles: for every workload the library
+ships, ``ttr_sweep`` must return exactly what a per-shift loop over
+``ttr_for_shift`` returns — including ``None`` misses, negative shifts,
+duplicate shifts, and degenerate horizons.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro.core import batch
+from repro.core.schedule import CyclicSchedule, FunctionSchedule
+from repro.core.verification import (
+    exhaustive_shift_range,
+    max_ttr,
+    ttr_for_shift,
+    ttr_profile,
+)
+from repro.sim.workloads import (
+    coalition_bands,
+    nested,
+    random_subsets,
+    single_overlap,
+    symmetric,
+    whitespace,
+)
+
+WORKLOADS = {
+    "random_subsets": lambda: random_subsets(16, 4, 3, seed=1),
+    "single_overlap": lambda: single_overlap(16, 3, 3, seed=2),
+    "symmetric": lambda: symmetric(16, 3, 2, seed=3),
+    "coalition_bands": lambda: coalition_bands(
+        32, band_width=6, agents_per_band=2, num_bands=2, overlap=2, seed=4
+    ),
+    "whitespace": lambda: whitespace(16, 3, incumbent_load=0.6, seed=5),
+    "nested": lambda: nested(16, [2, 4], seed=6),
+}
+
+SHIFTS = list(range(-40, 120)) + [997, 12_345, -733]
+
+
+def _scalar(a, b, shifts, horizon):
+    return {s: ttr_for_shift(a, b, s, horizon) for s in shifts}
+
+
+@pytest.mark.parametrize("kind", sorted(WORKLOADS))
+@pytest.mark.parametrize("algorithm", ["paper", "crseq"])
+def test_parity_across_workloads(kind, algorithm):
+    instance = WORKLOADS[kind]()
+    pairs = instance.overlapping_pairs()[:2]
+    assert pairs, f"workload {kind} produced no overlapping pairs"
+    for i, j in pairs:
+        a = repro.build_schedule(instance.sets[i], instance.n, algorithm=algorithm)
+        b = repro.build_schedule(instance.sets[j], instance.n, algorithm=algorithm)
+        horizon = 4 * max(a.period, b.period)
+        assert batch.ttr_sweep(a, b, SHIFTS, horizon) == _scalar(a, b, SHIFTS, horizon)
+
+
+@pytest.mark.parametrize("kind", sorted(WORKLOADS))
+def test_parity_on_tight_horizon_misses(kind):
+    """Horizons below the TTR must yield the same ``None``s as scalar."""
+    instance = WORKLOADS[kind]()
+    i, j = instance.overlapping_pairs()[0]
+    a = repro.build_schedule(instance.sets[i], instance.n)
+    b = repro.build_schedule(instance.sets[j], instance.n)
+    for horizon in (1, 2, 5, 17):
+        shifts = list(range(-30, 90))
+        swept = batch.ttr_sweep(a, b, shifts, horizon)
+        assert swept == _scalar(a, b, shifts, horizon)
+        assert any(t is None for t in swept.values()) or horizon > 5
+
+
+def test_parity_exhaustive_range():
+    a = CyclicSchedule([1, 2, 3, 4])
+    b = CyclicSchedule([9, 9, 2, 9, 9, 1])
+    shifts = list(exhaustive_shift_range(a, b))
+    assert len(shifts) == 12
+    assert batch.ttr_sweep(a, b, shifts, 500) == _scalar(a, b, shifts, 500)
+
+
+def test_parity_disjoint_schedules_all_miss():
+    a, b = CyclicSchedule([1, 2]), CyclicSchedule([3, 4, 5])
+    shifts = list(range(-12, 25))
+    swept = batch.ttr_sweep(a, b, shifts, 100_000)
+    assert swept == {s: None for s in shifts}
+
+
+def test_lcm_early_stop_matches_full_horizon_scan():
+    """The engine stops scanning at lcm(periods); a huge horizon must not
+    change any answer (the joint pattern is periodic)."""
+    a, b = CyclicSchedule([1, 2, 7]), CyclicSchedule([7, 5])
+    shifts = list(range(-6, 12))
+    assert batch.ttr_sweep(a, b, shifts, 10**9) == _scalar(a, b, shifts, 10_000)
+
+
+def test_chunking_is_invisible():
+    """Tiny block budgets exercise both chunk axes without changing results."""
+    instance = single_overlap(32, 3, 4, seed=7)
+    a = repro.build_schedule(instance.sets[0], 32)
+    b = repro.build_schedule(instance.sets[1], 32)
+    shifts = list(range(-50, 400))
+    reference = batch.ttr_sweep(a, b, shifts, 20_000)
+    for max_cells in (1, 64, 1024):
+        assert batch.ttr_sweep(a, b, shifts, 20_000, max_cells=max_cells) == reference
+
+
+def test_duplicate_and_empty_shift_lists():
+    a, b = CyclicSchedule([1, 2, 3]), CyclicSchedule([3, 1])
+    assert batch.ttr_sweep(a, b, [], 100) == {}
+    dup = batch.ttr_sweep(a, b, [4, 4, -4, 4], 100)
+    assert set(dup) == {4, -4}
+    assert dup == _scalar(a, b, [4, -4], 100)
+
+
+def test_zero_horizon_is_all_misses():
+    a, b = CyclicSchedule([1]), CyclicSchedule([1])
+    assert batch.ttr_sweep(a, b, [0, 3], 0) == {0: None, 3: None}
+
+
+def test_huge_period_fallback_uses_scalar_path():
+    """Periods past BATCH_TABLE_LIMIT skip table materialization entirely
+    (building the table would dwarf the sweep) and defer to the scalar
+    engine, which only evaluates the slots it scans."""
+    period = batch.BATCH_TABLE_LIMIT + 1
+    a = FunctionSchedule(lambda t: t % 3, period, channels=frozenset({0, 1, 2}))
+    b = CyclicSchedule([2, 0])
+    shifts = [0, 1, 5, -3]
+    assert batch.ttr_sweep(a, b, shifts, 50) == _scalar(a, b, shifts, 50)
+
+
+def test_ttr_profile_goes_through_batch_engine():
+    instance = symmetric(16, 3, 2, seed=3)
+    a = repro.build_schedule(instance.sets[0], 16, algorithm="paper-symmetric")
+    b = repro.build_schedule(instance.sets[1], 16, algorithm="paper-symmetric")
+    shifts = [5, -2, 0, 31]
+    profile = ttr_profile(a, b, shifts, 100)
+    assert list(profile) == shifts  # insertion order preserved
+    assert profile == _scalar(a, b, shifts, 100)
+
+
+def test_max_ttr_matches_scalar_max_through_batch():
+    instance = single_overlap(16, 2, 3, seed=9)
+    a = repro.build_schedule(instance.sets[0], 16)
+    b = repro.build_schedule(instance.sets[1], 16)
+    shifts = list(range(200))
+    horizon = 4 * max(a.period, b.period)
+    expected = max(_scalar(a, b, shifts, horizon).values())
+    assert max_ttr(a, b, shifts, horizon) == expected
+
+
+def test_max_ttr_raises_on_miss_through_batch():
+    a, b = CyclicSchedule([1, 2]), CyclicSchedule([3])
+    with pytest.raises(AssertionError, match="no rendezvous"):
+        max_ttr(a, b, [0, 1], 1000)

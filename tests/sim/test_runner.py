@@ -20,10 +20,18 @@ class TestShiftPlan:
         assert plan == list(range(10))
 
     def test_probes_within_joint_period(self):
+        # Coincidence patterns repeat every lcm(50, 20) = 100 shifts, so
+        # probes must range over the lcm, not max(period) = 50.
         a, b = CyclicSchedule([1] * 50), CyclicSchedule([1] * 20)
         plan = runner.shift_plan(a, b, dense=0, probes=30, seed=1)
         assert len(plan) == 30
-        assert all(0 <= s < 50 for s in plan)
+        assert all(0 <= s < 100 for s in plan)
+        assert any(s >= 50 for s in plan), "probes must reach past max(period)"
+
+    def test_probes_clamped_to_joint_cap(self):
+        a, b = CyclicSchedule([1] * 50), CyclicSchedule([1] * 20)
+        plan = runner.shift_plan(a, b, dense=0, probes=30, seed=1, joint_cap=10)
+        assert all(0 <= s < 10 for s in plan)
 
 
 class TestMeasurePairwise:
@@ -66,3 +74,50 @@ class TestMeasureInstance:
             inst, "paper", horizon=60_000, max_pairs=2, dense=2, probes=2
         )
         assert len(results) == 2
+
+
+class TestSweepRunner:
+    def test_schedule_cache_deduplicates_builds(self):
+        # 5 agents, all pairs overlapping: 10 pairs = 20 schedule
+        # lookups, but only 5 distinct channel sets to build.
+        inst = random_subsets(16, 8, 5, seed=4)
+        engine = runner.SweepRunner(workers=1)
+        results = engine.measure_instance(
+            inst, "paper", horizon=60_000, dense=2, probes=2
+        )
+        assert len(results) == len(inst.overlapping_pairs())
+        assert engine.cache_misses == len(inst.sets)
+        assert engine.cache_hits == 2 * len(results) - engine.cache_misses
+
+    def test_random_baseline_cache_keyed_by_seed(self):
+        inst = Instance(8, [frozenset({1, 2}), frozenset({2, 3})], "manual")
+        engine = runner.SweepRunner(workers=1)
+        engine.measure_pair(inst, "random", (0, 1), horizon=100_000, dense=4, probes=4)
+        # Same channel sets, different per-agent seeds: no false sharing.
+        assert engine.cache_misses == 2
+        engine.measure_pair(inst, "random", (0, 1), horizon=100_000, dense=4, probes=4)
+        assert engine.cache_misses == 2
+        assert engine.cache_hits == 2
+
+    def test_parallel_matches_serial(self):
+        inst = random_subsets(16, 8, 5, seed=4)  # 10 overlapping pairs
+        serial = runner.SweepRunner(workers=1).measure_instance(
+            inst, "paper", horizon=60_000, dense=2, probes=2
+        )
+        parallel = runner.SweepRunner(workers=2).measure_instance(
+            inst, "paper", horizon=60_000, dense=2, probes=2
+        )
+        assert serial == parallel
+
+    def test_small_jobs_stay_serial(self, monkeypatch):
+        inst = random_subsets(16, 4, 3, seed=3)  # at most 3 pairs
+
+        def boom(*args, **kwargs):  # pragma: no cover - guard only
+            raise AssertionError("process pool must not start for small jobs")
+
+        monkeypatch.setattr(runner, "ProcessPoolExecutor", boom)
+        engine = runner.SweepRunner(workers=4)
+        results = engine.measure_instance(
+            inst, "paper", horizon=60_000, dense=2, probes=2
+        )
+        assert len(results) == len(inst.overlapping_pairs())

@@ -111,6 +111,38 @@ class TestSimulateCommand:
         assert "unmet" in out
 
 
+class TestSweepCommand:
+    def test_batched_sweep_table(self, capsys):
+        code = main(
+            ["sweep", "--agents", "1,5/5,9/1,9", "--universe", "16",
+             "--dense", "4", "--probes", "4"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "worst TTR" in out
+        assert "0-1" in out and "1-2" in out
+        assert "3 overlapping pairs swept" in out
+        assert "cache hits" in out
+
+    def test_sweep_rejects_empty_plan(self, capsys):
+        code = main(
+            ["sweep", "--agents", "1,2/2,3", "--universe", "16",
+             "--dense", "0", "--probes", "0"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "empty shift plan" in out
+
+    def test_sweep_reports_miss(self, capsys):
+        code = main(
+            ["sweep", "--agents", "1,2/1,2", "--universe", "16",
+             "--horizon", "1", "--dense", "2", "--probes", "2"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "sweep failed" in out
+
+
 class TestWalkCommand:
     def test_plots(self, capsys):
         code = main(["walk", "--bits", "110100"])
