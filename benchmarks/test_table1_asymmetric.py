@@ -34,7 +34,7 @@ from repro.core.verification import max_ttr
 from repro.sim.workloads import single_overlap
 
 NS = (8, 16, 32)
-ALGORITHMS = ("paper", "crseq", "jump-stay", "drds")
+ALGORITHMS = ("paper", "crseq", "jump-stay", "drds", "zos")
 K = L = 3
 MAX_SHIFTS = 40_000
 
@@ -98,6 +98,9 @@ def test_table1_guarantee_envelopes(benchmark, envelopes, record):
     assert 1.5 < exponents["crseq"] < 2.5, "CRSEQ must be ~quadratic"
     assert 2.5 < exponents["jump-stay"] < 3.5, "Jump-Stay must be ~cubic"
     assert 1.5 < exponents["drds"] < 2.5, "DRDS must be ~quadratic"
+    # ZOS keys its period to the set size, not n: sub-linear in n (the
+    # collision-free modulus can wiggle a prime upward between draws).
+    assert exponents["zos"] < 1.0, "ZOS envelope must be ~flat in n"
     biggest = NS[-1]
     assert envelopes["paper"][biggest] < envelopes["crseq"][biggest]
     assert envelopes["crseq"][biggest] < envelopes["jump-stay"][biggest]

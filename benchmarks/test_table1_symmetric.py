@@ -22,7 +22,7 @@ from repro.sim.workloads import symmetric
 
 NS = (8, 16, 32)
 K = 3
-ALGORITHMS = ("paper-symmetric", "jump-stay", "crseq", "drds")
+ALGORITHMS = ("paper-symmetric", "jump-stay", "crseq", "drds", "zos")
 _CLAIM_KEY = {"paper-symmetric": "paper"}
 
 

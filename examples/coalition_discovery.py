@@ -7,8 +7,10 @@ O(|S_i||S_j| log log n) schedule beats the O(n^2)/O(n^3) global-sequence
 baselines by orders of magnitude.
 
 This example builds a multi-band coalition, runs full-network discovery
-under the paper's algorithm and under Jump-Stay, and reports how long
-each needs for every overlapping pair to meet.
+under the paper's algorithm and under every deterministic baseline in
+the registry (``repro.baselines.DETERMINISTIC_BASELINES`` — new
+baselines such as ``zos`` show up here automatically), and reports how
+long each needs for every overlapping pair to meet.
 
 Run:  python examples/coalition_discovery.py
 """
@@ -17,7 +19,20 @@ from __future__ import annotations
 
 import repro
 from repro.analysis import format_table
+from repro.baselines import DETERMINISTIC_BASELINES
 from repro.sim import Agent, Network, coalition_bands, summarize_ttrs
+
+# Horizons scale with each construction's guarantee envelope (its
+# period), capped so the global-sequence baselines stay runnable.
+HORIZON_CAP = 4_000_000
+
+
+def discovery_horizon(instance, algorithm: str) -> int:
+    worst_period = max(
+        repro.build_schedule(channels, instance.n, algorithm=algorithm).period
+        for channels in set(instance.sets)
+    )
+    return min(4 * worst_period, HORIZON_CAP)
 
 
 def discover(instance, algorithm: str, horizon: int):
@@ -43,7 +58,8 @@ def main() -> None:
           f"{len(instance.overlapping_pairs())} overlapping pairs\n")
 
     rows = []
-    for algorithm, horizon in (("paper", 400_000), ("jump-stay", 4_000_000)):
+    for algorithm in ("paper",) + DETERMINISTIC_BASELINES:
+        horizon = discovery_horizon(instance, algorithm)
         result = discover(instance, algorithm, horizon)
         ttrs = list(result.ttrs().values())
         stats = summarize_ttrs(ttrs) if ttrs else None
@@ -78,13 +94,14 @@ def main() -> None:
           f"({sorted(instance.sets[i])} vs {sorted(instance.sets[j])})")
     rows = []
     horizon = 200_000
-    for algorithm in ("paper", "jump-stay"):
+    for algorithm in ("paper",) + DETERMINISTIC_BASELINES:
         a = repro.build_schedule(instance.sets[i], n, algorithm=algorithm)
         b = repro.build_schedule(instance.sets[j], n, algorithm=algorithm)
         profile = ttr_sweep(a, b, range(0, 30_000, 997), horizon)
         stats, misses = summarize_profile(profile)
-        # Jump-Stay's guarantee only kicks in within its cubic ~50M-slot
-        # period at n=256 — a miss here IS the story.
+        # The global-sequence guarantees only kick in within their full
+        # periods (Jump-Stay's cubic ~50M slots at n=256) — a miss here
+        # IS the story.
         worst: object = f">= {horizon}" if misses else stats.maximum
         rows.append([algorithm, worst, f"{a.period:,}"])
     print(format_table(

@@ -87,8 +87,9 @@ def build_schedule(
         ``"paper-sync"`` — Theorem 3 synchronous variant;
         ``"paper-symmetric"`` — Theorem 3 wrapped per Section 3.2 for
         O(1) symmetric rendezvous;
-        ``"crseq"`` / ``"jump-stay"`` / ``"drds"`` / ``"random"`` —
-        baselines from :mod:`repro.baselines`.
+        ``"crseq"`` / ``"jump-stay"`` / ``"drds"`` / ``"zos"`` /
+        ``"random"`` — baselines from :mod:`repro.baselines`
+        (see :data:`repro.baselines.BASELINE_NAMES`).
     """
     if algorithm == "paper":
         return EpochSchedule(channels, n, asynchronous=True)

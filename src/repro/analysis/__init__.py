@@ -1,7 +1,12 @@
 """Analysis utilities: ASCII figures and Table-1 formatting."""
 
 from repro.analysis.ascii_plots import format_table, series_plot, walk_plot
-from repro.analysis.tables import PAPER_CLAIMS, scaling_exponent, table1
+from repro.analysis.tables import (
+    PAPER_CLAIMS,
+    scaling_exponent,
+    table1,
+    zos_vs_drds,
+)
 
 __all__ = [
     "walk_plot",
@@ -9,5 +14,6 @@ __all__ = [
     "format_table",
     "PAPER_CLAIMS",
     "table1",
+    "zos_vs_drds",
     "scaling_exponent",
 ]

@@ -1,8 +1,10 @@
 """CRSEQ baseline — Shin, Yang, Kim (IEEE Communications Letters 2010).
 
-The first construction guaranteeing asynchronous blind rendezvous, cited
-in the paper's Table 1 with ``O(n^2)`` rendezvous time for both the
-asymmetric and symmetric cases.
+The first construction guaranteeing asynchronous blind rendezvous,
+cited in the paper under study (Chen et al., ICDCS 2014) in Section 1.2
+and Table 1 with ``O(n^2)`` rendezvous time for both the asymmetric and
+symmetric cases — the quadratic envelope the paper's
+``O(|S_i||S_j| log log n)`` schedule is measured against.
 
 Construction (channels 0-indexed): let ``P`` be the smallest prime with
 ``P >= n``.  The global sequence has period ``3 P^2``, divided into ``P``

@@ -1,7 +1,9 @@
 """DRDS-style baseline — after Gu, Hua, Wang, Lau (SECON 2013).
 
-Gu et al. achieve ``O(n^2)`` asymmetric rendezvous (Table 1) by building a
-global sequence from a *disjoint relaxed difference set* (DRDS) family:
+Cited in the paper under study (Chen et al., ICDCS 2014) in Section 1.2
+and Table 1.  Gu et al. achieve ``O(n^2)`` asymmetric rendezvous by
+building a global sequence from a *disjoint relaxed difference set*
+(DRDS) family:
 one set ``D_i`` per channel ``i``, pairwise disjoint in ``Z_m`` with
 ``m = O(n^2)``, such that every ``d`` in ``Z_m`` can be written as a
 difference of two elements of ``D_i``.  Then, for any relative shift

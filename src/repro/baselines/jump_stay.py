@@ -1,7 +1,9 @@
 """Jump-Stay baseline — Lin, Liu, Chu, Leung (INFOCOM 2011).
 
-Cited in the paper's Table 1 with ``O(n^3)`` asymmetric and ``O(n)``
-symmetric rendezvous time.
+Cited in the paper under study (Chen et al., ICDCS 2014) in Section 1.2
+and Table 1 with ``O(n^3)`` asymmetric and ``O(n)`` symmetric
+rendezvous time; the cubic global period is the baseline the paper's
+coalition scenario (Section 1.3, |S| << n) is designed to escape.
 
 Construction (channels 0-indexed): let ``P`` be the smallest prime
 ``P > n``.  Time is divided into *rounds* of ``3P`` slots: ``2P`` jump

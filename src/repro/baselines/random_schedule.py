@@ -1,4 +1,4 @@
-"""The naive randomized baseline (paper Section 1.2).
+"""The naive randomized baseline (Chen et al., ICDCS 2014, Section 1.2).
 
 Each agent hops on a channel drawn uniformly at random from its set in
 every slot.  The paper notes this gives rendezvous in

@@ -27,7 +27,9 @@ from repro.sim import Agent, Instance, Network, SweepRunner
 
 __all__ = ["main", "build_parser"]
 
-_ALGORITHMS = ("paper", "paper-sync", "paper-symmetric", "crseq", "jump-stay", "drds", "random")
+from repro.baselines import BASELINE_NAMES
+
+_ALGORITHMS = ("paper", "paper-sync", "paper-symmetric") + BASELINE_NAMES
 
 
 def _parse_channels(text: str) -> list[int]:

@@ -1,10 +1,21 @@
 """Channel-hopping schedule abstractions.
 
-A *schedule* is the paper's ``sigma : N -> S``: an infinite map from local
-time slots to channels.  All concrete constructions in this package are
+A *schedule* is the paper's ``sigma : N -> S`` (Section 2, "channel
+schedule"): an infinite map from local time slots to the agent's
+available channels.  Two agents rendezvous at global slot ``t`` when
+``sigma_A(t - tA) == sigma_B(t - tB)`` for their wake-up times
+``tA, tB`` — the predicate every verifier in this repo ultimately
+evaluates.  All concrete constructions in this package (the paper's
+epoch schedules of Theorem 3 as well as every Table-1 baseline) are
 eventually cyclic, so the base class carries a ``period`` and supports
 vectorized materialization into numpy arrays — the verification engine
 and the simulator compare schedules as arrays rather than slot by slot.
+
+The bulk hook is :meth:`Schedule.period_table`: one full period as a
+shared read-only array, cached up to ``_CACHE_LIMIT`` slots.  The
+batched engine (:mod:`repro.core.batch`) builds every sweep from window
+views of that table, which is why adding a new algorithm only requires
+``channel_at`` plus (optionally) a vectorized ``_period_array``.
 """
 
 from __future__ import annotations
@@ -70,17 +81,26 @@ class Schedule:
         return self._period_array()
 
     def _period_array(self) -> np.ndarray:
+        """Cache wrapper around :meth:`_compute_period_array`.
+
+        Subclasses that can build their period faster than a scalar
+        ``channel_at`` loop should override ``_compute_period_array``
+        (pure computation); the caching policy lives only here.
+        """
         cached = getattr(self, "_period_array_cache", None)
         if cached is not None:
             return cached
-        array = np.fromiter(
+        array = self._compute_period_array()
+        if self.period <= _CACHE_LIMIT:
+            self._period_array_cache = array
+        return array
+
+    def _compute_period_array(self) -> np.ndarray:
+        return np.fromiter(
             (self.channel_at(t) for t in range(self.period)),
             dtype=np.int64,
             count=self.period,
         )
-        if self.period <= _CACHE_LIMIT:
-            self._period_array_cache = array
-        return array
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         name = type(self).__name__

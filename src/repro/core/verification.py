@@ -10,10 +10,11 @@ definitions as executable checks:
   ``sigma_A(t - tA) == sigma_B(t - tB)``.
 
 Only the relative shift ``tB - tA`` matters, so the asynchronous checks
-sweep shifts.  For two cyclic schedules the joint behaviour is periodic in
-the shift with period ``lcm(periods)``; checking shifts in
-``[0, lcm)`` in both directions is therefore *exhaustive* — the tests use
-this to certify guarantees, not just sample them.
+sweep shifts.  For two cyclic schedules a nonnegative shift only acts
+through its phase mod ``period_A`` and a negative one mod ``period_B``,
+so checking the ``period_A + period_B - 1`` shift classes of
+:func:`exhaustive_shift_range` is *exhaustive* — the tests use this to
+certify guarantees, not just sample them.
 
 All scans are vectorized over numpy windows.  Multi-shift queries
 (``ttr_profile``, ``max_ttr``, ``verify_guarantee``) are computed by the
@@ -24,7 +25,6 @@ reference path the batched engine is parity-tested against.
 
 from __future__ import annotations
 
-import math
 from collections.abc import Iterable
 
 import numpy as np
@@ -38,6 +38,7 @@ __all__ = [
     "ttr_profile",
     "max_ttr",
     "exhaustive_shift_range",
+    "strided_shift_range",
     "verify_guarantee",
 ]
 
@@ -98,11 +99,30 @@ def ttr_profile(
 def exhaustive_shift_range(a: Schedule, b: Schedule) -> range:
     """Shifts that cover *all* joint behaviours of two cyclic schedules.
 
-    The coincidence pattern of ``sigma_A(t)`` vs ``sigma_B(t - shift)`` is
-    periodic in ``shift`` with period ``lcm(period_A, period_B)``; both
-    signs are covered because the range is a full period of the lattice.
+    A nonnegative shift ``s`` (B wakes later) only enters the
+    comparison through the phase offset ``s mod period_A``; a negative
+    one through ``-s mod period_B`` (see :mod:`repro.core.batch`).  So
+    ``range(-period_B + 1, period_A)`` hits every distinct joint
+    behaviour of both signs exactly once — ``period_A + period_B - 1``
+    shifts, instead of the ``lcm(period_A, period_B)`` a naive full
+    lattice period would sweep.
     """
-    return range(0, math.lcm(a.period, b.period))
+    return range(-b.period + 1, a.period)
+
+
+def strided_shift_range(a: Schedule, b: Schedule, max_shifts: int) -> range:
+    """The exhaustive shift classes, strided down to ``~max_shifts``.
+
+    The deterministic fallback when a full certification over
+    ``period_A + period_B - 1`` shift classes is too expensive (the
+    quadratic/cubic global-sequence baselines at large ``n``): same
+    covering order, every ``stride``-th class.  ``max_shifts`` large
+    enough degenerates to :func:`exhaustive_shift_range`.
+    """
+    if max_shifts < 1:
+        raise ValueError(f"max_shifts must be positive, got {max_shifts}")
+    stride = -(-(a.period + b.period - 1) // max_shifts)
+    return range(-b.period + 1, a.period, stride)
 
 
 def max_ttr(

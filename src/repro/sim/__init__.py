@@ -22,6 +22,8 @@ from repro.sim.runner import (
 )
 from repro.sim.workloads import (
     Instance,
+    adversarial_single_common,
+    available_overlap,
     coalition_bands,
     nested,
     random_subsets,
@@ -49,6 +51,8 @@ __all__ = [
     "coalition_bands",
     "whitespace",
     "nested",
+    "available_overlap",
+    "adversarial_single_common",
     "MeasuredPair",
     "SweepRunner",
     "measure_pairwise",

@@ -19,12 +19,15 @@ The heavy lifting happens in :class:`SweepRunner`:
   schedule cache and warm numpy buffers beat process startup.
 
 Shift policy: the asynchronous guarantee quantifies over *all* relative
-wake-up offsets.  Exhaustive sweeps are only feasible for small periods,
-so `shift_plan` mixes structured shifts (0..S dense prefix) with seeded
-pseudo-random probes across the joint period — the same policy for every
-algorithm, so comparisons are fair.  Coincidence patterns are periodic
-in ``lcm(period_A, period_B)``, so probes are drawn from the full lcm
-(clamped to ``joint_cap``), not from ``max(period_A, period_B)``.
+wake-up offsets — both wake orders.  A nonnegative shift only acts
+through its phase class mod ``period_A`` and a negative one mod
+``period_B`` (see
+:func:`repro.core.verification.exhaustive_shift_range`), so
+``shift_plan`` straddles zero: a signed dense prefix
+(``0, -1, 1, -2, 2, ...``) plus seeded pseudo-random probes drawn
+uniformly from the two-sided class range, each side clamped to
+``joint_cap``.  The same policy applies to every algorithm, so
+comparisons are fair.
 
 The module-level ``shift_plan`` / ``measure_pairwise`` /
 ``measure_instance`` functions are thin wrappers over a serial
@@ -33,7 +36,6 @@ The module-level ``shift_plan`` / ``measure_pairwise`` /
 
 from __future__ import annotations
 
-import math
 import os
 import random
 from concurrent.futures import ProcessPoolExecutor
@@ -79,15 +81,25 @@ def shift_plan(
     seed: int = 0,
     joint_cap: int = DEFAULT_JOINT_CAP,
 ) -> list[int]:
-    """Deterministic shift schedule: dense prefix + seeded probes.
+    """Deterministic shift schedule: signed dense prefix + seeded probes.
 
-    Probes are drawn from ``lcm(a.period, b.period)`` — the true period
-    of the joint coincidence pattern — clamped to ``joint_cap``.
+    Covers both wake orders: the distinct shift classes are
+    ``[-period_B + 1, period_A)`` (nonnegative shifts act mod
+    ``period_A``, negative ones mod ``period_B``), so the dense prefix
+    alternates ``0, -1, 1, -2, 2, ...`` around zero and probes are
+    drawn uniformly from the full two-sided range, each side clamped to
+    ``joint_cap``.
     """
     rng = random.Random(seed)
-    joint = min(math.lcm(a.period, b.period), joint_cap)
-    shifts = list(range(min(dense, joint)))
-    shifts += [rng.randrange(joint) for _ in range(probes)]
+    lo = -min(b.period - 1, joint_cap)
+    hi = min(a.period, joint_cap)
+    shifts = []
+    for i in range(dense):
+        magnitude = (i + 1) // 2
+        shift = magnitude if i % 2 == 0 else -magnitude
+        if lo <= shift < hi:
+            shifts.append(shift)
+    shifts += [rng.randrange(lo, hi) for _ in range(probes)]
     return shifts
 
 
@@ -102,11 +114,25 @@ def _build(channels: frozenset[int], n: int, algorithm: str, seed: int) -> Sched
 class SweepRunner:
     """Batched, schedule-caching, optionally parallel sweep engine.
 
-    One runner owns a schedule cache and a worker budget; reuse a runner
-    across serial calls to amortize schedule construction over a whole
-    table.  The parallel path starts a fresh pool per call (workers keep
-    their own caches for the tasks that land on them), so it only pays
-    off for instances with many pairs — exactly when it engages.
+    **Caching contract.** One runner owns one schedule cache, keyed by
+    ``(channels, n, algorithm, seed)`` with the seed collapsed to ``-1``
+    for every deterministic algorithm — so in an instance where many
+    agents share a channel set, each distinct set is built exactly once
+    per runner, and reusing one runner across calls amortizes schedule
+    construction over a whole table.  ``cache_hits``/``cache_misses``
+    expose the effect.  Entries are never evicted: a runner's lifetime
+    is expected to be one table, not one process.
+
+    **Process-pool contract.** ``measure_instance`` stays serial below
+    ``MIN_PARALLEL_PAIRS`` pairs or when ``workers <= 1`` — there the
+    shared cache and warm numpy buffers beat process startup.  Larger
+    jobs fan pairs out over a fresh ``ProcessPoolExecutor`` per call;
+    each worker process keeps its *own* ``SweepRunner`` (module-global,
+    reused across the tasks that land on it), so parent-side cache
+    statistics only describe serial runs, and schedules must be
+    constructible from picklable inputs (``Instance`` + algorithm name
+    — never pass live ``Schedule`` objects across the pool boundary).
+    Results return in pair order regardless of which path executed.
     """
 
     def __init__(self, workers: int | None = None):

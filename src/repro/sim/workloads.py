@@ -23,6 +23,17 @@ Scenarios
 ``nested``
     Chains ``S_1 ⊂ S_2 ⊂ ...`` — stresses the anonymity requirement
     (different-size sets must still coordinate).
+``available_overlap``
+    Available-channel-set workloads parameterized by the overlap
+    fraction ``rho`` — the evaluation axis of the ZOS / available-set
+    literature (Lin et al., arXiv:1506.00744; Yu et al.,
+    arXiv:1506.01136): every pair shares a common core of
+    ``~rho * k`` channels.
+``adversarial_single_common``
+    Many agents pairwise intersecting in exactly one globally shared
+    channel — the multi-agent sharpening of ``single_overlap``
+    (paper Theorem 7 regime) on which available-set algorithms must
+    still certify finite maximum TTR.
 """
 
 from __future__ import annotations
@@ -38,6 +49,8 @@ __all__ = [
     "coalition_bands",
     "whitespace",
     "nested",
+    "available_overlap",
+    "adversarial_single_common",
 ]
 
 
@@ -181,6 +194,77 @@ def whitespace(
             "free_channels": len(free),
             "seed": seed,
         },
+    )
+
+
+def available_overlap(
+    n: int,
+    k: int,
+    num_agents: int,
+    rho: float,
+    seed: int = 0,
+) -> Instance:
+    """Size-``k`` sets sharing a common core of ``max(1, round(rho*k))``.
+
+    The overlap-fraction axis from the available-channel-set literature:
+    ``rho`` close to 1 approaches the symmetric case, ``rho`` close to 0
+    degenerates toward single-common-channel adversaries.  Every agent's
+    set is the common core plus ``k - g`` private channels drawn (with
+    possible cross-agent collisions) from the rest of the universe, so
+    every pairwise intersection *contains* the core — rendezvous is
+    always possible and ``verify_guarantee`` must find a finite maximum
+    TTR.
+    """
+    if not 1 <= k <= n:
+        raise ValueError(f"need 1 <= k <= n, got k={k}, n={n}")
+    if not 0.0 <= rho <= 1.0:
+        raise ValueError(f"overlap fraction must be in [0, 1], got {rho}")
+    core_size = min(k, max(1, round(rho * k)))
+    rng = random.Random(seed)
+    core = rng.sample(range(n), core_size)
+    # k <= n and |rest| = n - core_size, so private draws always fit.
+    rest = [c for c in range(n) if c not in set(core)]
+    sets = [
+        frozenset(core + rng.sample(rest, k - core_size))
+        for _ in range(num_agents)
+    ]
+    return Instance(
+        n,
+        sets,
+        "available_overlap",
+        {"k": k, "rho": rho, "core_size": core_size, "seed": seed},
+    )
+
+
+def adversarial_single_common(
+    n: int, k: int, num_agents: int, seed: int = 0
+) -> Instance:
+    """Pairwise intersections of exactly one (globally shared) channel.
+
+    One channel is common to everyone; each agent's remaining ``k - 1``
+    channels are private and pairwise disjoint across agents, so *every*
+    pair meets only on the shared channel — the multi-agent extension of
+    the Theorem 7 hard instances (``Omega(k l)`` asynchronous lower
+    bound), and the adversarial floor for available-channel-set
+    algorithms.  Requires ``num_agents * (k - 1) + 1 <= n``.
+    """
+    if k < 1:
+        raise ValueError(f"need k >= 1, got k={k}")
+    needed = num_agents * (k - 1) + 1
+    if needed > n:
+        raise ValueError(
+            f"need num_agents*(k-1)+1 <= n, got {needed} > {n}"
+        )
+    rng = random.Random(seed)
+    channels = rng.sample(range(n), needed)
+    common = channels[0]
+    private = channels[1:]
+    sets = [
+        frozenset([common] + private[i * (k - 1) : (i + 1) * (k - 1)])
+        for i in range(num_agents)
+    ]
+    return Instance(
+        n, sets, "adversarial_single_common", {"k": k, "seed": seed}
     )
 
 

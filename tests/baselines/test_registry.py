@@ -5,18 +5,28 @@ from __future__ import annotations
 import pytest
 
 import repro
-from repro.baselines import BASELINE_NAMES, build_baseline
+from repro.baselines import (
+    BASELINE_NAMES,
+    DETERMINISTIC_BASELINES,
+    build_baseline,
+)
 from repro.baselines.crseq import CRSEQSchedule
 from repro.baselines.drds import DRDSSchedule
 from repro.baselines.jump_stay import JumpStaySchedule
 from repro.baselines.random_schedule import RandomSchedule
+from repro.baselines.zos import ZOSSchedule
 from repro.core.epoch import EpochSchedule
 from repro.core.symmetric import SymmetricWrappedSchedule
 
 
 class TestRegistry:
     def test_names(self):
-        assert set(BASELINE_NAMES) == {"crseq", "jump-stay", "drds", "random"}
+        assert set(BASELINE_NAMES) == {
+            "crseq", "jump-stay", "drds", "zos", "random",
+        }
+
+    def test_deterministic_subset(self):
+        assert set(DETERMINISTIC_BASELINES) == set(BASELINE_NAMES) - {"random"}
 
     @pytest.mark.parametrize(
         "name,cls",
@@ -24,6 +34,7 @@ class TestRegistry:
             ("crseq", CRSEQSchedule),
             ("jump-stay", JumpStaySchedule),
             ("drds", DRDSSchedule),
+            ("zos", ZOSSchedule),
             ("random", RandomSchedule),
         ],
     )

@@ -9,6 +9,7 @@ from repro.core.verification import (
     exhaustive_shift_range,
     first_rendezvous,
     max_ttr,
+    strided_shift_range,
     ttr_for_shift,
     ttr_profile,
     verify_guarantee,
@@ -87,20 +88,37 @@ class TestProfiles:
 
 
 class TestExhaustiveShiftRange:
-    def test_lcm_of_periods(self):
+    def test_covers_both_signs_once(self):
         a = CyclicSchedule([1, 2, 3])
         b = CyclicSchedule([1, 2, 3, 4])
-        assert exhaustive_shift_range(a, b) == range(0, 12)
+        assert exhaustive_shift_range(a, b) == range(-3, 3)
+        assert len(exhaustive_shift_range(a, b)) == a.period + b.period - 1
 
     def test_exhaustiveness(self):
-        """Shifts beyond the lcm behave identically to shifts inside it."""
+        """Shifts reduce to their phase class: s >= 0 mod period_A,
+        s < 0 mod period_B — classes behave identically."""
         a = CyclicSchedule([1, 2, 3])
         b = CyclicSchedule([3, 2, 1, 3])
-        lcm = 12
-        for shift in range(lcm):
+        for shift in range(a.period):
             inside = ttr_for_shift(a, b, shift, 50)
-            outside = ttr_for_shift(a, b, shift + lcm, 50)
+            outside = ttr_for_shift(a, b, shift + a.period, 50)
             assert inside == outside
+        for shift in range(1, b.period):
+            inside = ttr_for_shift(a, b, -shift, 50)
+            outside = ttr_for_shift(a, b, -shift - b.period, 50)
+            assert inside == outside
+
+    def test_strided_variant_subsamples(self):
+        a = CyclicSchedule(list(range(10)))
+        b = CyclicSchedule(list(range(14)))
+        full = exhaustive_shift_range(a, b)
+        strided = strided_shift_range(a, b, max_shifts=8)
+        assert set(strided) <= set(full)
+        assert strided.step == (a.period + b.period) // 8
+        # Generous budget degenerates to the exhaustive range.
+        assert strided_shift_range(a, b, 10_000) == full
+        with pytest.raises(ValueError):
+            strided_shift_range(a, b, 0)
 
 
 class TestVerifyGuarantee:

@@ -14,24 +14,30 @@ class TestShiftPlan:
         a, b = CyclicSchedule([1, 2, 3]), CyclicSchedule([3, 2, 1])
         assert runner.shift_plan(a, b, seed=5) == runner.shift_plan(a, b, seed=5)
 
-    def test_dense_prefix(self):
+    def test_dense_prefix_straddles_zero(self):
         a, b = CyclicSchedule(list(range(100))), CyclicSchedule(list(range(100)))
         plan = runner.shift_plan(a, b, dense=10, probes=0)
-        assert plan == list(range(10))
+        assert plan == [0, -1, 1, -2, 2, -3, 3, -4, 4, -5]
 
-    def test_probes_within_joint_period(self):
-        # Coincidence patterns repeat every lcm(50, 20) = 100 shifts, so
-        # probes must range over the lcm, not max(period) = 50.
+    def test_probes_cover_both_wake_orders(self):
+        # Distinct shift classes are [-period_B + 1, period_A): negative
+        # shifts (B wakes first) act mod period_B and must be sampled too.
         a, b = CyclicSchedule([1] * 50), CyclicSchedule([1] * 20)
-        plan = runner.shift_plan(a, b, dense=0, probes=30, seed=1)
-        assert len(plan) == 30
-        assert all(0 <= s < 100 for s in plan)
-        assert any(s >= 50 for s in plan), "probes must reach past max(period)"
+        plan = runner.shift_plan(a, b, dense=0, probes=40, seed=1)
+        assert len(plan) == 40
+        assert all(-20 < s < 50 for s in plan)
+        assert any(s < 0 for s in plan), "probes must cover B-wakes-first"
+        assert any(s > 20 for s in plan), "probes must reach past period_B"
 
     def test_probes_clamped_to_joint_cap(self):
         a, b = CyclicSchedule([1] * 50), CyclicSchedule([1] * 20)
         plan = runner.shift_plan(a, b, dense=0, probes=30, seed=1, joint_cap=10)
-        assert all(0 <= s < 10 for s in plan)
+        assert all(-10 <= s < 10 for s in plan)
+
+    def test_dense_prefix_clamped_to_small_periods(self):
+        a, b = CyclicSchedule([1, 2]), CyclicSchedule([2, 1])
+        plan = runner.shift_plan(a, b, dense=10, probes=0)
+        assert plan == [0, -1, 1]
 
 
 class TestMeasurePairwise:

@@ -122,6 +122,67 @@ class TestWhitespace:
             wl.whitespace(16, 2, incumbent_load=1.0)
 
 
+class TestAvailableOverlap:
+    def test_core_shared_by_every_pair(self):
+        inst = wl.available_overlap(64, 6, 5, rho=0.5, seed=1)
+        assert all(len(s) == 6 for s in inst.sets)
+        assert inst.metadata["core_size"] == 3
+        common = frozenset.intersection(*inst.sets)
+        assert len(common) >= 3
+
+    def test_rho_one_is_symmetric(self):
+        inst = wl.available_overlap(32, 4, 3, rho=1.0, seed=2)
+        assert len(set(inst.sets)) == 1
+
+    def test_rho_zero_keeps_one_common(self):
+        inst = wl.available_overlap(32, 4, 3, rho=0.0, seed=3)
+        assert inst.metadata["core_size"] == 1
+        assert frozenset.intersection(*inst.sets)
+
+    def test_deterministic(self):
+        assert (
+            wl.available_overlap(32, 4, 3, rho=0.5, seed=4).sets
+            == wl.available_overlap(32, 4, 3, rho=0.5, seed=4).sets
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="overlap fraction"):
+            wl.available_overlap(32, 4, 3, rho=1.5)
+        with pytest.raises(ValueError):
+            wl.available_overlap(4, 5, 1, rho=0.5)
+
+    @given(st.integers(2, 40), st.data())
+    def test_every_pair_overlaps(self, n, data):
+        k = data.draw(st.integers(1, max(1, n // 2)))
+        rho = data.draw(st.sampled_from([0.0, 0.25, 0.5, 1.0]))
+        inst = wl.available_overlap(n, k, 4, rho=rho, seed=9)
+        assert len(inst.overlapping_pairs()) == 6
+
+
+class TestAdversarialSingleCommon:
+    def test_every_pair_exactly_one_common(self):
+        inst = wl.adversarial_single_common(64, 5, 4, seed=0)
+        assert all(len(s) == 5 for s in inst.sets)
+        for i, j in inst.overlapping_pairs():
+            assert len(inst.sets[i] & inst.sets[j]) == 1
+        assert len(inst.overlapping_pairs()) == 6
+
+    def test_common_channel_is_global(self):
+        inst = wl.adversarial_single_common(64, 4, 5, seed=1)
+        assert len(frozenset.intersection(*inst.sets)) == 1
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            wl.adversarial_single_common(8, 4, 4)
+        with pytest.raises(ValueError):
+            wl.adversarial_single_common(8, 0, 2)
+
+    def test_k_one_collapses_to_shared_singleton(self):
+        inst = wl.adversarial_single_common(16, 1, 3, seed=2)
+        assert len(set(inst.sets)) == 1
+        assert all(len(s) == 1 for s in inst.sets)
+
+
 class TestNested:
     def test_chain_is_nested(self):
         inst = wl.nested(32, [2, 5, 9], seed=6)

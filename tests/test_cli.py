@@ -124,6 +124,16 @@ class TestSweepCommand:
         assert "3 overlapping pairs swept" in out
         assert "cache hits" in out
 
+    def test_sweep_zos_smoke(self, capsys):
+        code = main(
+            ["sweep", "--agents", "1,5,9/5,20/1,20,31", "--universe", "32",
+             "--algorithm", "zos", "--dense", "8", "--probes", "8"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "algorithm: zos" in out
+        assert "3 overlapping pairs swept" in out
+
     def test_sweep_rejects_empty_plan(self, capsys):
         code = main(
             ["sweep", "--agents", "1,2/2,3", "--universe", "16",
@@ -134,9 +144,12 @@ class TestSweepCommand:
         assert "empty shift plan" in out
 
     def test_sweep_reports_miss(self, capsys):
+        # The dense prefix alternates 0, -1, 1, ...; dense=130 reaches
+        # shift -64, which cannot meet within a one-slot horizon, so the
+        # sweep must fail and say so.
         code = main(
             ["sweep", "--agents", "1,2/1,2", "--universe", "16",
-             "--horizon", "1", "--dense", "2", "--probes", "2"]
+             "--horizon", "1", "--dense", "130", "--probes", "0"]
         )
         out = capsys.readouterr().out
         assert code == 1

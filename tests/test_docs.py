@@ -1,0 +1,78 @@
+"""The documentation layer stays present and internally consistent."""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_check_links():
+    spec = importlib.util.spec_from_file_location(
+        "check_links", REPO_ROOT / "tools" / "check_links.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("check_links", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestDocsExist:
+    def test_readme_present_with_required_sections(self):
+        readme = (REPO_ROOT / "README.md").read_text()
+        for required in (
+            "pip install -e",
+            "python -m pytest -x -q",
+            "python -m repro sweep",
+            "src/repro/core/",
+            "baselines",
+        ):
+            assert required in readme, f"README.md is missing {required!r}"
+
+    def test_benchmarks_doc_present(self):
+        text = (REPO_ROOT / "docs" / "BENCHMARKS.md").read_text()
+        for required in (
+            "Phase-offset dedup",
+            "lcm early-stop",
+            "Memory cap",
+            "BENCH_batched_sweep.json",
+        ):
+            assert required in text, f"docs/BENCHMARKS.md is missing {required!r}"
+
+
+class TestLinkChecker:
+    def test_repo_docs_have_no_broken_links(self, capsys):
+        module = _load_check_links()
+        assert module.main() == 0, capsys.readouterr().err
+
+    def test_detects_broken_link(self, tmp_path):
+        module = _load_check_links()
+        page = tmp_path / "page.md"
+        page.write_text(
+            "[ok](page.md) [gone](missing.md) [web](https://example.com) "
+            "[anchor](#here)\n"
+        )
+        broken = module.broken_links(page)
+        assert [target for _, target in broken] == ["missing.md"]
+
+    def test_titled_links_still_checked(self, tmp_path):
+        module = _load_check_links()
+        page = tmp_path / "page.md"
+        page.write_text('[methodology](MISSING.md "how tables regenerate")\n')
+        broken = module.broken_links(page)
+        assert [target for _, target in broken] == ["MISSING.md"]
+
+    def test_whitespace_only_target_ignored(self, tmp_path):
+        module = _load_check_links()
+        page = tmp_path / "page.md"
+        page.write_text("[empty]( ) and [fine](page.md)\n")
+        assert module.broken_links(page) == []
+
+    def test_anchor_suffix_stripped(self, tmp_path):
+        module = _load_check_links()
+        (tmp_path / "other.md").write_text("x\n")
+        page = tmp_path / "page.md"
+        page.write_text("[sect](other.md#part)\n")
+        assert module.broken_links(page) == []

@@ -37,6 +37,7 @@ class TestFullDiscoveryAcrossAlgorithms:
             "crseq": 100_000,
             "jump-stay": 500_000,
             "drds": 100_000,
+            "zos": 100_000,
             "random": 100_000,
         }[algorithm]
         agents = [

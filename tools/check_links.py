@@ -1,0 +1,74 @@
+"""Fail on broken intra-repo links in the documentation.
+
+Scans ``README.md`` and every markdown file under ``docs/`` for inline
+markdown links and image references.  Links with a URL scheme
+(``http(s)://``, ``mailto:``) are skipped — this tool only guards the
+*intra-repo* links that silently rot when files move.  Relative targets
+resolve against the file that contains them; anchors (``#section``) are
+stripped before the existence check.
+
+Run from the repo root (CI runs it in the docs job; the tier-1 suite
+runs it via ``tests/test_docs.py``):
+
+    python tools/check_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# [text](target)  /  ![alt](target), optionally with a quoted title —
+# the target is the first whitespace-delimited token inside the parens.
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)]+)\)")
+_SCHEME = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")
+
+
+def doc_files() -> list[Path]:
+    files = []
+    readme = REPO_ROOT / "README.md"
+    if readme.exists():
+        files.append(readme)
+    docs = REPO_ROOT / "docs"
+    if docs.is_dir():
+        files.extend(sorted(docs.rglob("*.md")))
+    return files
+
+
+def broken_links(path: Path) -> list[tuple[int, str]]:
+    broken = []
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        for raw in _LINK.findall(line):
+            parts = raw.strip().split()
+            target = parts[0].strip("<>") if parts else ""
+            if not target or _SCHEME.match(target) or target.startswith("#"):
+                continue
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                broken.append((lineno, target))
+    return broken
+
+
+def main() -> int:
+    files = doc_files()
+    if not files:
+        print("no documentation files found", file=sys.stderr)
+        return 1
+    failures = 0
+    for path in files:
+        for lineno, target in broken_links(path):
+            rel = path.relative_to(REPO_ROOT)
+            print(f"{rel}:{lineno}: broken link -> {target}", file=sys.stderr)
+            failures += 1
+    if failures:
+        print(f"{failures} broken intra-repo link(s)", file=sys.stderr)
+        return 1
+    print(f"checked {len(files)} file(s): all intra-repo links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
