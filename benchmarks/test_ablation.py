@@ -1,4 +1,4 @@
-"""Ablations of the design choices called out in DESIGN.md §5.
+"""Ablations of the design choices called out in docs/ARCHITECTURE.md.
 
 1. Lemma 2 color choice: highest vs lowest distinguishing bit.
 2. Theorem 3 prime selection: smallest vs largest pair in [k, 3k].

@@ -17,6 +17,7 @@ import pytest
 import repro
 from repro.analysis.tables import scaling_exponent, table1
 from repro.core.batch import ttr_sweep
+from repro.core.store import ScheduleStore
 from repro.core.verification import max_ttr
 from repro.sim.workloads import symmetric
 
@@ -24,6 +25,13 @@ NS = (8, 16, 32)
 K = 3
 ALGORITHMS = ("paper-symmetric", "jump-stay", "crseq", "drds", "zos")
 _CLAIM_KEY = {"paper-symmetric": "paper"}
+
+# Dense-universe extension: schedules come out of a shared
+# ScheduleStore (both agents share one channel set, so each table is
+# built once and attached once); Jump-Stay drops out — its cubic
+# period exceeds the batch table limit from n = 128 on.
+NS_LARGE = (64, 128, 256)
+ALGORITHMS_LARGE = ("paper-symmetric", "crseq", "drds", "zos")
 
 
 def _worst_symmetric_ttr(algorithm: str, n: int, shifts) -> int:
@@ -73,6 +81,71 @@ def test_table1_symmetric(benchmark, measured, record):
     # Our DRDS variant has no symmetric shortcut: ~quadratic (documented).
     drds_exponent = scaling_exponent(list(NS), [measured["drds"][n] for n in NS])
     assert drds_exponent > 1.5
+
+
+def test_table1_symmetric_large_universe(benchmark, record, tmp_path):
+    """The symmetric column pushed to n = 64/128/256 through the store."""
+    store = ScheduleStore(tmp_path / "store")
+
+    def measure() -> dict[str, dict[int, int]]:
+        result: dict[str, dict[int, int]] = {}
+        for algorithm in ALGORITHMS_LARGE:
+            key = _CLAIM_KEY.get(algorithm, algorithm)
+            result[key] = {}
+            for n in NS_LARGE:
+                instance = symmetric(n, K, 2, seed=5)
+                a = repro.build_schedule(
+                    instance.sets[0], n, algorithm=algorithm, store=store
+                )
+                b = repro.build_schedule(
+                    instance.sets[1], n, algorithm=algorithm, store=store
+                )
+                shifts = list(range(0, 600)) + list(range(600, 20_000, 97))
+                folded = [s % max(a.period, b.period) for s in shifts]
+                result[key][n] = max_ttr(
+                    a, b, folded, 4 * max(a.period, b.period)
+                )
+        return result
+
+    measured = benchmark.pedantic(measure, rounds=1, iterations=1)
+    stats = store.stats()
+    lines = [
+        f"Table 1 (symmetric) at large universes: worst TTR over dense "
+        f"shifts, |S|={K} (jump-stay omitted: cubic period exceeds the "
+        "batch table limit)",
+        table1(measured, "symmetric", NS_LARGE),
+        "",
+        "fitted scaling exponents:",
+    ]
+    exponents = {
+        name: scaling_exponent(list(NS_LARGE), [by_n[n] for n in NS_LARGE])
+        for name, by_n in measured.items()
+    }
+    lines += [f"  {name}: {e:+.2f}" for name, e in exponents.items()]
+    lines += [
+        "",
+        "note: the ~800-shift dense sample under-covers the quadratic",
+        "periods at these universe sizes, so baseline exponents flatten;",
+        "the guarantee-envelope table carries the bound.",
+        "",
+        f"schedule store: {stats['builds']} tables built once, "
+        f"{stats['attaches']} attached (shared set: one build per "
+        "(algorithm, n), the second agent attaches), "
+        f"{stats['total_bytes'] / (1 << 20):.1f} MiB resident",
+    ]
+    record("table1_symmetric_large_universe", "\n".join(lines))
+
+    # O(1) survives the dense universes untouched.
+    assert all(measured["paper"][n] <= 12 for n in NS_LARGE), measured["paper"]
+    # Every global-sequence baseline is orders of magnitude above the
+    # paper's constant at the largest universe.
+    biggest = NS_LARGE[-1]
+    for name in ("crseq", "drds"):
+        assert measured[name][biggest] > 10 * measured["paper"][biggest], name
+    # The set-size-keyed constructions stay flat in n.
+    assert exponents["paper"] < 0.1 and exponents["zos"] < 0.1, exponents
+    # Both agents share one set: every second lookup is an attach.
+    assert stats["attaches"] == stats["builds"]
 
 
 def test_symmetric_O1_deep_universe(benchmark, record):

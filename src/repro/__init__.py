@@ -14,8 +14,9 @@ Quickstart
 >>> ttr is not None
 True
 
-See ``examples/`` for full scenarios and ``DESIGN.md`` for the system
-inventory.
+See ``examples/`` for full scenarios, ``docs/ARCHITECTURE.md`` for the
+layer map and data flow, and ``docs/API.md`` for the public-surface
+reference.
 """
 
 from __future__ import annotations
@@ -28,6 +29,8 @@ from repro.core import (
     EpochSchedule,
     FunctionSchedule,
     Schedule,
+    ScheduleStore,
+    StoredSchedule,
     SymmetricWrappedSchedule,
     async_period,
     pair_schedule_async,
@@ -54,6 +57,8 @@ __all__ = [
     "CyclicSchedule",
     "ConstantSchedule",
     "FunctionSchedule",
+    "ScheduleStore",
+    "StoredSchedule",
     "pair_schedule_async",
     "pair_schedule_sync",
     "async_period",
@@ -73,6 +78,7 @@ def build_schedule(
     channels: Iterable[int],
     n: int,
     algorithm: str = "paper",
+    store: ScheduleStore | None = None,
 ) -> Schedule:
     """Build a channel-hopping schedule for one agent.
 
@@ -90,7 +96,14 @@ def build_schedule(
         ``"crseq"`` / ``"jump-stay"`` / ``"drds"`` / ``"zos"`` /
         ``"random"`` — baselines from :mod:`repro.baselines`
         (see :data:`repro.baselines.BASELINE_NAMES`).
+    store:
+        Optional :class:`ScheduleStore`.  When given, the schedule's
+        period table is materialized into (or attached read-only from)
+        the store instead of being rebuilt in-process — the cheap path
+        for repeated and multi-process workloads.
     """
+    if store is not None:
+        return store.get(channels, n, algorithm)
     if algorithm == "paper":
         return EpochSchedule(channels, n, asynchronous=True)
     if algorithm == "paper-sync":

@@ -36,6 +36,7 @@ from repro.baselines.jump_stay import JumpStaySchedule
 from repro.baselines.random_schedule import RandomSchedule
 from repro.baselines.zos import ZOSSchedule
 from repro.core.schedule import Schedule
+from repro.core.store import ScheduleStore
 
 __all__ = [
     "CRSEQSchedule",
@@ -68,8 +69,16 @@ def build_baseline(
     n: int,
     algorithm: str,
     seed: int = 0,
+    store: ScheduleStore | None = None,
 ) -> Schedule:
-    """Instantiate a baseline schedule by name (see :data:`BASELINE_NAMES`)."""
+    """Instantiate a baseline schedule by name (see :data:`BASELINE_NAMES`).
+
+    With ``store=`` the period table comes from (or is materialized
+    into) the given :class:`~repro.core.store.ScheduleStore` instead of
+    being rebuilt in-process.
+    """
+    if store is not None:
+        return store.get(channels, n, algorithm, seed=seed)
     builder = _BUILDERS.get(algorithm)
     if builder is None:
         raise ValueError(

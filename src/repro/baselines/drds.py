@@ -12,7 +12,7 @@ agents simultaneously at some slot — the defining rendezvous property.
 
 Their exact algebraic construction is not reproduced in the paper under
 study, so this module uses our own closed-form DRDS family in
-``Z_{45 n^2 + 8n}`` (documented in DESIGN.md; same ``Theta(n^2)``
+``Z_{45 n^2 + 8n}`` (see docs/ARCHITECTURE.md, deviations; same ``Theta(n^2)``
 guarantee class, constant 45 vs. their 3, and — unlike theirs —
 prime-free).  Each channel ``i < n`` owns four components:
 

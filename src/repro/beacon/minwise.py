@@ -7,7 +7,7 @@ The beacon protocol needs a family ``R ⊂ S_n`` such that for every subset
 
 The paper cites Indyk's construction; Indyk's own route is that k-wise
 independent hash families with ``k = O(log 1/eps)`` are ε-min-wise.  We
-implement that route directly (documented substitution in DESIGN.md): a
+implement that route directly (see docs/ARCHITECTURE.md, deviations): a
 degree-``k-1`` polynomial over a prime field ``Z_p`` with ``p >= n``,
 with ties broken by channel id to obtain a total order.  ``eps = 1/2``
 per the paper, for which a small constant degree suffices; the test-suite

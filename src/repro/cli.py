@@ -8,6 +8,10 @@ numbers without writing Python:
     python -m repro bound --k 3 --l 4 --universe 64
     python -m repro simulate --agents 3,17,40/17,58/3,58 --universe 64
     python -m repro sweep --agents 3,17,40/17,58/3,58 --universe 64
+    python -m repro sweep --agents ... --universe 64 --store-dir .schedules
+    python -m repro store prewarm --agents ... --universe 64 --store-dir .schedules
+    python -m repro store inspect --store-dir .schedules
+    python -m repro store evict --store-dir .schedules --all
     python -m repro walk --bits 110100
 
 Each subcommand prints plain text; exit code 0 on success, 2 on usage
@@ -22,6 +26,7 @@ from collections.abc import Sequence
 import repro
 from repro.analysis import format_table, walk_plot
 from repro.core import bounds
+from repro.core.store import ScheduleStore
 from repro.core.verification import ttr_for_shift
 from repro.sim import Agent, Instance, Network, SweepRunner
 
@@ -107,6 +112,40 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="process count for the pair fan-out; 0 means one per core",
     )
+    sweep.add_argument(
+        "--store-dir",
+        default=None,
+        help="shared schedule store: period tables are materialized here "
+        "once and attached (read-only memmaps) by every process",
+    )
+
+    store = sub.add_parser(
+        "store",
+        help="manage a shared schedule store (prewarm / inspect / evict)",
+    )
+    store_sub = store.add_subparsers(dest="action", required=True)
+
+    prewarm = store_sub.add_parser(
+        "prewarm", help="materialize period tables ahead of a sweep"
+    )
+    prewarm.add_argument(
+        "--agents",
+        type=_parse_agents,
+        required=True,
+        help="channel sets separated by '/', e.g. 1,2/2,3/3,4",
+    )
+    prewarm.add_argument("--universe", type=int, required=True)
+    prewarm.add_argument("--algorithm", choices=_ALGORITHMS, default="paper")
+    prewarm.add_argument("--store-dir", required=True)
+
+    inspect = store_sub.add_parser("inspect", help="list stored period tables")
+    inspect.add_argument("--store-dir", required=True)
+
+    evict = store_sub.add_parser("evict", help="drop stored period tables")
+    evict.add_argument("--store-dir", required=True)
+    group = evict.add_mutually_exclusive_group(required=True)
+    group.add_argument("--digest", action="append", help="digest(s) to drop")
+    group.add_argument("--all", action="store_true", help="drop every entry")
 
     walk = sub.add_parser("walk", help="ASCII walk plot of a bit string")
     walk.add_argument("--bits", required=True)
@@ -181,7 +220,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    runner = SweepRunner(workers=args.workers or None)
+    runner = SweepRunner(workers=args.workers or None, store=args.store_dir)
     try:
         instance = Instance(
             args.universe, [frozenset(s) for s in args.agents], "cli"
@@ -208,13 +247,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     ]
     print(f"algorithm: {args.algorithm}")
     print(format_table(["pair", "worst TTR", "mean", "p95", "shifts"], rows))
-    built = runner.cache_misses
+    missed = runner.cache_misses
     reused = runner.cache_hits
     # Pool workers keep their own caches, so parent-side stats only
-    # describe serial runs.
+    # describe serial runs (with a store, misses are attaches or
+    # builds — the store line below splits them).
     cache_note = (
-        f"{built} schedules built, {reused} cache hits, "
-        if built + reused
+        f"{missed} cache misses, {reused} cache hits, "
+        if missed + reused
         else ""
     )
     used = runner.effective_workers(len(measured))
@@ -223,7 +263,80 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         f"({cache_note}"
         f"{used} worker{'s' if used != 1 else ''})"
     )
+    if runner.store is not None:
+        s = runner.store.stats()
+        print(
+            f"store {runner.store.store_dir}: {s['builds']} built, "
+            f"{s['attaches']} attached, {s['entries']} entries "
+            f"({s['total_bytes'] / 1024:.0f} KiB)"
+        )
     return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    store = ScheduleStore(args.store_dir)
+    if args.action == "prewarm":
+        # Reuse the runner's prewarm so the per-agent seeding is the
+        # same one `sweep` uses — a prewarmed store is hit, never
+        # rebuilt, by the sweep that follows.  Every agent is warmed,
+        # overlapping or not.
+        runner = SweepRunner(workers=1, store=store)
+        try:
+            instance = Instance(
+                args.universe, [frozenset(s) for s in args.agents], "cli"
+            )
+            runner.prewarm(
+                instance,
+                args.algorithm,
+                agents=list(range(instance.num_agents)),
+            )
+        except (AssertionError, ValueError) as exc:
+            print(f"prewarm failed: {exc}")
+            return 1
+        for i, channels in enumerate(args.agents):
+            schedule = runner.schedule_for(
+                frozenset(channels), args.universe, args.algorithm, i
+            )
+            print(
+                f"agent{i} {sorted(set(channels))}: period {schedule.period}"
+            )
+        s = store.stats()
+        print(
+            f"\nstore {store.store_dir}: {s['builds']} built, "
+            f"{s['attaches']} already present, {s['bypasses']} bypassed "
+            f"(too large), {s['entries']} entries "
+            f"({s['total_bytes'] / 1024:.0f} KiB)"
+        )
+        return 0
+    if args.action == "inspect":
+        entries = store.entries()
+        rows = [
+            [
+                m["digest"],
+                m["algorithm"],
+                m["n"],
+                len(m["channels"]),
+                m["period"],
+                f"{m['nbytes'] / 1024:.0f}",
+            ]
+            for m in entries
+        ]
+        print(format_table(
+            ["digest", "algorithm", "n", "|S|", "period", "KiB"], rows
+        ))
+        print(
+            f"\n{len(entries)} entries, "
+            f"{store.total_bytes() / 1024:.0f} KiB total"
+        )
+        return 0
+    if args.all:
+        print(f"evicted {store.clear()} entries")
+        return 0
+    missing = [d for d in args.digest if not store.evict(d)]
+    for digest in missing:
+        print(f"no such entry: {digest}")
+    print(f"evicted {len(args.digest) - len(missing)} entries")
+    return 1 if missing else 0
 
 
 def _cmd_walk(args: argparse.Namespace) -> int:
@@ -237,6 +350,7 @@ _HANDLERS = {
     "bound": _cmd_bound,
     "simulate": _cmd_simulate,
     "sweep": _cmd_sweep,
+    "store": _cmd_store,
     "walk": _cmd_walk,
 }
 

@@ -25,6 +25,9 @@ verification
 batch
     Batched shift-sweep engine: whole TTR profiles in one vectorized
     pass over a ``(shift, time)`` coincidence matrix.
+store
+    Shared-memory schedule store: period tables materialized once as
+    read-only memmaps and attached by every sweep process.
 """
 
 from repro.core.epoch import EpochSchedule, rendezvous_bound
@@ -40,6 +43,7 @@ from repro.core.schedule import (
     FunctionSchedule,
     Schedule,
 )
+from repro.core.store import ScheduleStore, StoredSchedule
 from repro.core.symmetric import SymmetricWrappedSchedule
 
 __all__ = [
@@ -54,4 +58,6 @@ __all__ = [
     "ConstantSchedule",
     "FunctionSchedule",
     "SymmetricWrappedSchedule",
+    "ScheduleStore",
+    "StoredSchedule",
 ]

@@ -55,8 +55,8 @@ _INITIAL_TIME_BLOCK = 256
 
 
 def ttr_sweep(
-    a: Schedule,
-    b: Schedule,
+    a: Schedule | np.ndarray,
+    b: Schedule | np.ndarray,
     shifts: Iterable[int],
     horizon: int,
     max_cells: int = 1 << 21,
@@ -69,7 +69,16 @@ def ttr_sweep(
     where the schedules coincide, or ``None`` when no coincidence occurs
     within ``horizon`` slots.  ``max_cells`` bounds the area of any
     single ``(shift, time)`` block, which bounds peak memory.
+
+    Either side may be a raw 1-D period array instead of a
+    :class:`~repro.core.schedule.Schedule` — e.g. a read-only memmap
+    attached from a :class:`~repro.core.store.ScheduleStore`.  An
+    int64 table is used as-is, never copied (other dtypes are
+    converted once): the array *is* the period table, its length the
+    period.
     """
+    a = _coerce_schedule(a)
+    b = _coerce_schedule(b)
     shift_list = [int(s) for s in shifts]
     if not shift_list:
         return {}
@@ -111,6 +120,15 @@ def ttr_sweep(
         s: None if t < 0 else int(t)
         for s, t in zip(shift_list, scattered.tolist())
     }
+
+
+def _coerce_schedule(x: Schedule | np.ndarray) -> Schedule:
+    """Wrap a raw period array as a schedule view; pass schedules through."""
+    if isinstance(x, Schedule):
+        return x
+    from repro.core.store import StoredSchedule
+
+    return StoredSchedule(x)
 
 
 def _scalar_sweep(

@@ -125,6 +125,7 @@ class EpochSchedule(Schedule):
         return built
 
     def channel_at(self, t: int) -> int:
+        """Channel at slot ``t``: epoch ``r = t div epoch_length``'s pair string."""
         if t < 0:
             raise ValueError(f"slot must be nonnegative, got {t}")
         r, offset = divmod(t, self.epoch_length)

@@ -7,7 +7,7 @@ logarithmic overhead.  The paper cites Knuth's "Efficient balanced codes"
 by one per step, so some prefix length ``c*`` balances the string; the
 encoder appends a short balanced encoding of ``c*``.
 
-Deviation from the paper (documented in DESIGN.md): Knuth's original tail
+Deviation from the paper (see docs/ARCHITECTURE.md, deviations): Knuth's original tail
 encoding recursively saves a ``(1/2) log log`` factor; we use the simpler
 balanced tail ``c*_2 || complement(c*_2)``, giving
 

@@ -46,7 +46,7 @@ def sync_pair_string(x: str) -> str:
     the missing cross tuple for distinct inputs of equal length.
 
     **Paper erratum** (found by this reproduction's tests, documented in
-    DESIGN.md): the paper writes the tail as ``wt(x)_2``, but then for
+    docs/ARCHITECTURE.md, deviations): the paper writes the tail as ``wt(x)_2``, but then for
     ``wt(x) < wt(y)`` the canonical-encoding property produces *another*
     ``(0,1)`` coordinate, not the required ``(1,0)`` — e.g. weights 1 vs 3
     encode as ``01`` vs ``11`` and no coordinate realizes ``(1,0)``

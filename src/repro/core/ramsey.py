@@ -6,7 +6,7 @@ of length two is monochromatic: ``chi(a, b) != chi(b, c)`` whenever
 ``a < b < c``.  The paper achieves a palette of ``ceil(log2 n)`` colors by
 coloring ``(a, b)`` with any bit position set in ``b`` but not in ``a``.
 
-Conventions (see DESIGN.md):
+Conventions (see docs/ARCHITECTURE.md, deviations):
 
 * Channels are **0-indexed**: ``0 .. n-1``.  (With the paper's 1-indexed
   channels, vertex ``n`` may need a bit outside the claimed palette; with

@@ -118,6 +118,7 @@ class CyclicSchedule(Schedule):
         self.channels = frozenset(int(c) for c in sequence)
 
     def channel_at(self, t: int) -> int:
+        """Channel at slot ``t``: the sequence read cyclically."""
         return int(self._sequence[t % self.period])
 
     def _period_array(self) -> np.ndarray:
@@ -133,6 +134,7 @@ class ConstantSchedule(Schedule):
         self.channels = frozenset((self._channel,))
 
     def channel_at(self, t: int) -> int:
+        """The constant channel, at every slot."""
         return self._channel
 
 
@@ -154,4 +156,5 @@ class FunctionSchedule(Schedule):
         self.channels = channels
 
     def channel_at(self, t: int) -> int:
+        """Channel at slot ``t``: the wrapped slot function, verbatim."""
         return self._fn(t)

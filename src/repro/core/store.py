@@ -1,0 +1,373 @@
+"""Shared-memory schedule store for multi-process sweeps.
+
+The Table-1 regime the paper cares about (worst-case TTR growing
+superlinearly in the universe size ``n``) is exactly where period
+tables get expensive: DRDS's global sequence spans ``45 n^2 + 8n``
+slots, and materializing it (:meth:`~repro.core.schedule.Schedule.period_table`)
+costs a full pass over the period.  Before this module existed, every
+:class:`~repro.sim.runner.SweepRunner` worker process rebuilt each
+table it touched — the dominant cost of dense-universe sweeps
+(``n = 128, 256``), since the verification engine itself is batched
+and cheap per pair.
+
+:class:`ScheduleStore` materializes each distinct
+``(channels, n, algorithm, seed)`` period table **exactly once** into a
+numpy ``.npy`` file under a store directory, and hands out *read-only
+memmap views* of it.  The key is the same cache key ``SweepRunner``
+already uses (:func:`store_key`: the seed collapses to ``-1`` for every
+deterministic algorithm), so a store can front any sweep without
+changing its semantics.  Workers attach by path — attaching is a file
+open plus an mmap, not a rebuild — and the OS page cache shares the
+physical pages across every process on the machine.
+
+Contracts
+---------
+* ``get`` returns a :class:`StoredSchedule` whose ``period_table()`` is
+  the memmap itself — no copy is ever taken on the attach path, and the
+  view is read-only (writing through it raises).
+* ``builds`` / ``attaches`` / ``bypasses`` / ``evictions`` count what
+  actually happened; benches assert "built exactly once per sweep"
+  against ``builds``.
+* The on-disk footprint is capped by ``memory_cap`` bytes: storing a
+  new table evicts least-recently-attached entries first (mtime order).
+  Tables whose period exceeds ``STORE_PERIOD_LIMIT`` — or that would
+  not fit under the cap at all — bypass the store and come back as
+  ordinary in-process schedules.
+* Writes are atomic (temp file + ``os.replace``), so concurrent
+  builders of the same key race benignly: last writer wins, both
+  results are identical.
+
+See ``docs/ARCHITECTURE.md`` for where the store sits in the data flow
+and ``docs/API.md`` for the call-level reference.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from collections.abc import Iterable
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.schedule import _CACHE_LIMIT, Schedule
+
+__all__ = [
+    "ScheduleStore",
+    "StoredSchedule",
+    "store_key",
+    "key_digest",
+    "build_plain",
+    "DEFAULT_MEMORY_CAP",
+    "STORE_PERIOD_LIMIT",
+]
+
+#: Default cap on the total bytes of period tables kept in a store.
+DEFAULT_MEMORY_CAP = 1 << 30
+
+#: Largest period (slots) the store will materialize.  Shares the
+#: schedule cache / batched-engine limit: beyond it the batched sweep
+#: falls back to the scalar path and a table would never be used.
+STORE_PERIOD_LIMIT = _CACHE_LIMIT
+
+
+def store_key(
+    channels: Iterable[int], n: int, algorithm: str, seed: int = 0
+) -> tuple[frozenset[int], int, str, int]:
+    """Canonical schedule cache key, shared with ``SweepRunner``.
+
+    Deterministic algorithms ignore the seed, so it collapses to ``-1``
+    for everything except the randomized baseline — two agents with the
+    same channel set share one entry under ``drds`` but keep separate
+    tapes under ``random``.
+    """
+    return (
+        frozenset(int(c) for c in channels),
+        int(n),
+        str(algorithm),
+        int(seed) if algorithm == "random" else -1,
+    )
+
+
+def key_digest(key: tuple[frozenset[int], int, str, int]) -> str:
+    """Stable 16-hex-digit digest of a :func:`store_key` — the filename stem."""
+    channels, n, algorithm, seed = key
+    text = f"{algorithm}|n={n}|seed={seed}|channels={sorted(channels)}"
+    return hashlib.sha256(text.encode()).hexdigest()[:16]
+
+
+def build_plain(
+    channels: Iterable[int], n: int, algorithm: str, seed: int = 0
+) -> Schedule:
+    """Build a schedule directly, with no store involved.
+
+    This is the store's miss path and the no-store path of
+    ``SweepRunner`` — one place that knows how to turn a cache key back
+    into a live schedule (the paper's constructions via
+    :func:`repro.build_schedule`, the seeded randomized baseline via
+    :func:`repro.baselines.build_baseline`).
+    """
+    if algorithm == "random":
+        from repro.baselines import build_baseline
+
+        return build_baseline(channels, n, "random", seed=seed)
+    import repro
+
+    return repro.build_schedule(channels, n, algorithm=algorithm)
+
+
+class StoredSchedule(Schedule):
+    """A schedule backed by an externally owned period table.
+
+    Wraps a period array — typically a read-only memmap handed out by
+    :class:`ScheduleStore`, but any 1-D integer array works — and
+    ``period_table()`` returns the wrapped array itself (int64 input is
+    used as-is; other dtypes are converted, which copies, once at
+    construction).  This is also the adapter
+    :func:`repro.core.batch.ttr_sweep` uses to accept raw arrays in
+    place of schedule objects; when ``channels`` is not supplied it is
+    derived lazily from the table, so sweep-only wrappers never scan it.
+    """
+
+    def __init__(
+        self,
+        table: np.ndarray,
+        channels: frozenset[int] | None = None,
+    ):
+        table = np.atleast_1d(table)
+        if table.ndim != 1 or table.size == 0:
+            raise ValueError("period table must be a nonempty 1-D array")
+        if table.dtype != np.int64:
+            table = np.ascontiguousarray(table, dtype=np.int64)
+        self._table = table
+        self.period = int(table.size)
+        self._channels = channels
+
+    @property
+    def channels(self) -> frozenset[int]:
+        """Channels the table visits (computed on first access)."""
+        if self._channels is None:
+            self._channels = frozenset(int(c) for c in np.unique(self._table))
+        return self._channels
+
+    def channel_at(self, t: int) -> int:
+        """Channel at local slot ``t`` — one read through the table."""
+        return int(self._table[t % self.period])
+
+    def _period_array(self) -> np.ndarray:
+        return self._table
+
+
+class ScheduleStore:
+    """Materialize-once, attach-many store of schedule period tables.
+
+    Parameters
+    ----------
+    store_dir:
+        Directory holding the ``<digest>.npy`` tables and their
+        ``<digest>.json`` metadata; created if missing.  Handing the
+        same path to another process (or another ``ScheduleStore``)
+        attaches the same tables.
+    memory_cap:
+        Soft cap in bytes on the total size of stored tables; storing a
+        table that would exceed it evicts least-recently-attached
+        entries first.
+    """
+
+    def __init__(
+        self,
+        store_dir: str | os.PathLike,
+        memory_cap: int = DEFAULT_MEMORY_CAP,
+    ):
+        if memory_cap <= 0:
+            raise ValueError(f"memory_cap must be positive, got {memory_cap}")
+        self.store_dir = Path(store_dir)
+        self.store_dir.mkdir(parents=True, exist_ok=True)
+        self.memory_cap = int(memory_cap)
+        self.builds = 0
+        self.attaches = 0
+        self.bypasses = 0
+        self.evictions = 0
+
+    # -- lookup ----------------------------------------------------------
+
+    def get(
+        self,
+        channels: Iterable[int],
+        n: int,
+        algorithm: str,
+        seed: int = 0,
+    ) -> Schedule:
+        """Attach the stored table for this key, building it on first use.
+
+        Returns a :class:`StoredSchedule` over a read-only memmap, or —
+        when the table is too large to store (period above
+        ``STORE_PERIOD_LIMIT`` or bigger than the whole cap) — a plain
+        in-process schedule, counted in ``bypasses``.
+        """
+        key = store_key(channels, n, algorithm, seed)
+        digest = key_digest(key)
+        path = self._table_path(digest)
+        attached = self._try_attach(path, key[0])
+        if attached is not None:
+            return attached
+
+        schedule = build_plain(key[0], n, algorithm, seed)
+        if schedule.period > STORE_PERIOD_LIMIT:
+            self.bypasses += 1
+            return schedule
+        table = np.ascontiguousarray(schedule.period_table(), dtype=np.int64)
+        if not self._ensure_capacity(table.nbytes):
+            self.bypasses += 1
+            return schedule
+        self._write(digest, key, table)
+        self.builds += 1
+        attached = self._try_attach(path, key[0], count=False)
+        if attached is not None:
+            return attached
+        # Evicted by a concurrent process in the write-to-open window:
+        # the in-process schedule is still correct.
+        return schedule
+
+    def contains(
+        self,
+        channels: Iterable[int],
+        n: int,
+        algorithm: str,
+        seed: int = 0,
+    ) -> bool:
+        """Whether the table for this key is currently materialized."""
+        return self._table_path(
+            key_digest(store_key(channels, n, algorithm, seed))
+        ).exists()
+
+    # -- inspection ------------------------------------------------------
+
+    def entries(self) -> list[dict]:
+        """Metadata of every stored table, least-recently-attached first.
+
+        Each entry carries ``digest``, ``algorithm``, ``n``, ``seed``,
+        ``channels``, ``period``, ``nbytes`` and ``last_used`` (the
+        table file's mtime, refreshed on every attach).
+        """
+        rows = []
+        for meta_path in sorted(self.store_dir.glob("*.json")):
+            table_path = meta_path.with_suffix(".npy")
+            if not table_path.exists():
+                continue
+            meta = json.loads(meta_path.read_text())
+            meta["last_used"] = table_path.stat().st_mtime
+            rows.append(meta)
+        rows.sort(key=lambda m: m["last_used"])
+        return rows
+
+    def total_bytes(self) -> int:
+        """Total size of all stored period tables, in bytes."""
+        return sum(m["nbytes"] for m in self.entries())
+
+    def stats(self) -> dict[str, int]:
+        """Counter snapshot: builds, attaches, bypasses, evictions, entries, bytes."""
+        entries = self.entries()
+        return {
+            "builds": self.builds,
+            "attaches": self.attaches,
+            "bypasses": self.bypasses,
+            "evictions": self.evictions,
+            "entries": len(entries),
+            "total_bytes": sum(m["nbytes"] for m in entries),
+        }
+
+    # -- eviction --------------------------------------------------------
+
+    def evict(self, digest: str) -> bool:
+        """Drop one stored table by digest; returns whether it existed.
+
+        Already-attached memmaps stay valid (the mapping holds the
+        pages); only future ``get`` calls rebuild.
+        """
+        existed = self._table_path(digest).exists()
+        self._table_path(digest).unlink(missing_ok=True)
+        self._meta_path(digest).unlink(missing_ok=True)
+        if existed:
+            self.evictions += 1
+        return existed
+
+    def clear(self) -> int:
+        """Evict every stored table; returns how many were dropped."""
+        count = 0
+        for meta in self.entries():
+            count += int(self.evict(meta["digest"]))
+        return count
+
+    # -- internals -------------------------------------------------------
+
+    def _try_attach(
+        self, path: Path, channels: frozenset[int], count: bool = True
+    ) -> StoredSchedule | None:
+        """Attach ``path`` read-only, or None if it is (or just became)
+        absent — a concurrent eviction between the existence check and
+        the open must fall through to the build path, not raise."""
+        if not path.exists():
+            return None
+        try:
+            table = np.load(path, mmap_mode="r")
+            os.utime(path)  # refresh LRU position
+        except OSError:
+            return None
+        if count:
+            self.attaches += 1
+        return StoredSchedule(table, channels)
+
+    def _table_path(self, digest: str) -> Path:
+        return self.store_dir / f"{digest}.npy"
+
+    def _meta_path(self, digest: str) -> Path:
+        return self.store_dir / f"{digest}.json"
+
+    def _ensure_capacity(self, incoming: int) -> bool:
+        """Make room for ``incoming`` bytes; False if it can never fit."""
+        if incoming > self.memory_cap:
+            return False
+        entries = self.entries()  # least-recently-attached first
+        total = sum(m["nbytes"] for m in entries)
+        while total + incoming > self.memory_cap and entries:
+            victim = entries.pop(0)
+            if self.evict(victim["digest"]):
+                total -= victim["nbytes"]
+        return True
+
+    def _write(
+        self,
+        digest: str,
+        key: tuple[frozenset[int], int, str, int],
+        table: np.ndarray,
+    ) -> None:
+        """Atomically persist one table and its metadata sidecar."""
+        channels, n, algorithm, seed = key
+        fd, tmp = tempfile.mkstemp(dir=self.store_dir, suffix=".npy.tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.save(handle, table)
+            os.replace(tmp, self._table_path(digest))
+        except BaseException:
+            Path(tmp).unlink(missing_ok=True)
+            raise
+        meta = {
+            "digest": digest,
+            "algorithm": algorithm,
+            "n": n,
+            "seed": seed,
+            "channels": sorted(channels),
+            "period": int(table.size),
+            "nbytes": int(table.nbytes),
+        }
+        fd, tmp = tempfile.mkstemp(dir=self.store_dir, suffix=".json.tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(meta, handle, indent=2)
+            os.replace(tmp, self._meta_path(digest))
+        except BaseException:
+            Path(tmp).unlink(missing_ok=True)
+            raise

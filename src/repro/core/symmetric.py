@@ -40,6 +40,7 @@ class SymmetricWrappedSchedule(Schedule):
         self.channels = base.channels | {self._c0}
 
     def channel_at(self, t: int) -> int:
+        """Channel at slot ``t``: the 3.2 pattern interleaving stay and base."""
         if t < 0:
             raise ValueError(f"slot must be nonnegative, got {t}")
         base_slot, position = divmod(t, _EXPANSION)

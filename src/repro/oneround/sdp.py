@@ -12,7 +12,7 @@ hyperplane rounding recovers a 0.878 fraction of that (GW analysis), and
 playing the better of the normal and fully-flipped rounds yields at least
 ``0.878 / 2 = 0.439`` of the maximum in-pairs.
 
-Solver substitution (see DESIGN.md): instead of an interior-point SDP
+Solver substitution (see docs/ARCHITECTURE.md, deviations): instead of an interior-point SDP
 solver we use the standard Burer-Monteiro low-rank factorization — unit
 vectors in ``R^dim`` optimized by block-coordinate ascent
 (``v_e <- normalize(sum_f sgn(e,f) v_f)``), which monotonically increases

@@ -21,6 +21,7 @@ class TTRStats:
     minimum: int
 
     def as_row(self) -> dict[str, float | int]:
+        """The stats as one flat dict row, ready for a results table."""
         return {
             "count": self.count,
             "mean": round(self.mean, 2),

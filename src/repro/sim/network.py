@@ -41,6 +41,7 @@ class SimulationResult:
         return pairs
 
     def met_pairs(self) -> list[tuple[str, str]]:
+        """Pairs that rendezvoused within the horizon, sorted by name."""
         return sorted(self.events)
 
     def unmet_pairs(self) -> list[tuple[str, str]]:
@@ -48,6 +49,7 @@ class SimulationResult:
         return [p for p in self.overlapping_pairs() if p not in self.events]
 
     def all_discovered(self) -> bool:
+        """Whether every overlapping pair met within the horizon."""
         return not self.unmet_pairs()
 
     def discovery_time(self) -> int | None:
@@ -59,6 +61,7 @@ class SimulationResult:
         return max(e.time for e in self.events.values())
 
     def ttrs(self) -> dict[tuple[str, str], int]:
+        """Per-pair time-to-rendezvous (slots after both agents woke)."""
         return {pair: e.ttr for pair, e in self.events.items()}
 
 

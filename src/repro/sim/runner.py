@@ -16,7 +16,12 @@ The heavy lifting happens in :class:`SweepRunner`:
 * instances with many pairs fan out across a
   ``concurrent.futures.ProcessPoolExecutor`` (worker count configurable,
   default ``os.cpu_count()``); small jobs stay serial, where the
-  schedule cache and warm numpy buffers beat process startup.
+  schedule cache and warm numpy buffers beat process startup;
+* with a :class:`~repro.core.store.ScheduleStore` attached, period
+  tables are materialized **once** (the parent prewarms every distinct
+  key before fanning out) and workers attach read-only memmap views
+  instead of rebuilding tables per process — the enabling layer for
+  dense-universe sweeps, where table construction dominates.
 
 Shift policy: the asynchronous guarantee quantifies over *all* relative
 wake-up offsets — both wake orders.  A nonnegative shift only acts
@@ -38,12 +43,14 @@ from __future__ import annotations
 
 import os
 import random
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
+from pathlib import Path
 
-import repro
 from repro.core.batch import ttr_sweep
 from repro.core.schedule import Schedule
+from repro.core.store import ScheduleStore, build_plain, store_key
 from repro.sim.metrics import TTRStats, summarize_ttrs
 from repro.sim.workloads import Instance
 
@@ -103,25 +110,28 @@ def shift_plan(
     return shifts
 
 
-def _build(channels: frozenset[int], n: int, algorithm: str, seed: int) -> Schedule:
-    if algorithm == "random":
-        from repro.baselines import build_baseline
-
-        return build_baseline(channels, n, "random", seed=seed)
-    return repro.build_schedule(channels, n, algorithm=algorithm)
-
-
 class SweepRunner:
     """Batched, schedule-caching, optionally parallel sweep engine.
 
     **Caching contract.** One runner owns one schedule cache, keyed by
-    ``(channels, n, algorithm, seed)`` with the seed collapsed to ``-1``
-    for every deterministic algorithm — so in an instance where many
-    agents share a channel set, each distinct set is built exactly once
-    per runner, and reusing one runner across calls amortizes schedule
-    construction over a whole table.  ``cache_hits``/``cache_misses``
-    expose the effect.  Entries are never evicted: a runner's lifetime
-    is expected to be one table, not one process.
+    :func:`~repro.core.store.store_key` — ``(channels, n, algorithm,
+    seed)`` with the seed collapsed to ``-1`` for every deterministic
+    algorithm — so in an instance where many agents share a channel
+    set, each distinct set is built exactly once per runner, and
+    reusing one runner across calls amortizes schedule construction
+    over a whole table.  ``cache_hits``/``cache_misses`` expose the
+    effect.  Entries are never evicted: a runner's lifetime is expected
+    to be one table, not one process.
+
+    **Store contract.** With ``store=`` (a
+    :class:`~repro.core.store.ScheduleStore` or a directory path), the
+    local cache's miss path goes through the store: period tables are
+    materialized into the store exactly once per distinct key and every
+    later lookup — same runner, another runner, another *process* —
+    attaches a read-only memmap view instead of rebuilding.  Parallel
+    ``measure_instance`` calls prewarm every key in the parent before
+    fanning out, so worker processes never build at all; the store's
+    ``builds``/``attaches`` counters certify it.
 
     **Process-pool contract.** ``measure_instance`` stays serial below
     ``MIN_PARALLEL_PAIRS`` pairs or when ``workers <= 1`` — there the
@@ -129,14 +139,21 @@ class SweepRunner:
     jobs fan pairs out over a fresh ``ProcessPoolExecutor`` per call;
     each worker process keeps its *own* ``SweepRunner`` (module-global,
     reused across the tasks that land on it), so parent-side cache
-    statistics only describe serial runs, and schedules must be
-    constructible from picklable inputs (``Instance`` + algorithm name
-    — never pass live ``Schedule`` objects across the pool boundary).
-    Results return in pair order regardless of which path executed.
+    statistics only describe serial runs.  The fan-out ships store
+    handles (directory paths) and picklable inputs (``Instance`` +
+    algorithm name), never live ``Schedule`` objects.  Results return
+    in pair order regardless of which path executed.
     """
 
-    def __init__(self, workers: int | None = None):
+    def __init__(
+        self,
+        workers: int | None = None,
+        store: ScheduleStore | str | os.PathLike | None = None,
+    ):
         self.workers = os.cpu_count() or 1 if workers is None else max(1, workers)
+        if store is not None and not isinstance(store, ScheduleStore):
+            store = ScheduleStore(store)
+        self.store = store
         self._schedules: dict[
             tuple[frozenset[int], int, str, int], Schedule
         ] = {}
@@ -149,17 +166,65 @@ class SweepRunner:
         """Build (or fetch) one agent's schedule.
 
         Deterministic algorithms ignore the seed, so it only
-        discriminates cache entries for the randomized baseline.
+        discriminates cache entries for the randomized baseline.  The
+        miss path goes through the store when one is attached.
         """
-        key = (channels, n, algorithm, seed if algorithm == "random" else -1)
+        key = store_key(channels, n, algorithm, seed)
         cached = self._schedules.get(key)
         if cached is not None:
             self.cache_hits += 1
             return cached
         self.cache_misses += 1
-        schedule = _build(channels, n, algorithm, seed)
+        if self.store is not None:
+            schedule = self.store.get(channels, n, algorithm, seed)
+        else:
+            schedule = build_plain(channels, n, algorithm, seed)
         self._schedules[key] = schedule
         return schedule
+
+    def prewarm(
+        self,
+        instance: Instance,
+        algorithm: str,
+        pairs: list[tuple[int, int]] | None = None,
+        seed: int = 0,
+        agents: list[int] | None = None,
+    ) -> int:
+        """Materialize every schedule a sweep over ``pairs`` will need.
+
+        Touches each agent once with the same per-agent seeds
+        ``measure_pair`` uses, so each distinct cache key is built
+        exactly once (into the store, when one is attached) before any
+        fan-out.  ``agents`` overrides the pair-derived agent selection
+        (e.g. warm everything regardless of overlaps).  Returns the
+        number of distinct keys touched.
+        """
+        if agents is None:
+            if pairs is None:
+                pairs = instance.overlapping_pairs()
+            agents = sorted({index for pair in pairs for index in pair})
+        keys = set()
+        for i in agents:
+            agent_seed = seed * 1000 + i
+            keys.add(store_key(instance.sets[i], instance.n, algorithm, agent_seed))
+            self.schedule_for(instance.sets[i], instance.n, algorithm, agent_seed)
+        if self.store is not None:
+            resident = sum(
+                self.store.contains(channels, n, algo, agent_seed)
+                for channels, n, algo, agent_seed in keys
+            )
+            if resident < len(keys):
+                # The sweep's working set exceeds the store cap (or the
+                # tables bypassed it): workers will rebuild what fell
+                # out, defeating the built-once contract.
+                warnings.warn(
+                    f"schedule store holds only {resident}/{len(keys)} of "
+                    "this sweep's tables (memory cap or period limit); "
+                    "workers will rebuild the rest per process",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+        return len(keys)
 
     def measure_pair(
         self,
@@ -220,8 +285,15 @@ class SweepRunner:
         if max_pairs is not None:
             pairs = pairs[:max_pairs]
         if self.effective_workers(len(pairs)) > 1:
+            store_handle = None
+            if self.store is not None:
+                # Build each distinct period table exactly once, here in
+                # the parent; workers then only ever attach.  The handle
+                # carries the memory cap so worker-side stores honor it.
+                self.prewarm(instance, algorithm, pairs, seed=seed)
+                store_handle = (str(self.store.store_dir), self.store.memory_cap)
             payloads = [
-                (instance, algorithm, pair, horizon, dense, probes, seed)
+                (instance, algorithm, pair, horizon, dense, probes, seed, store_handle)
                 for pair in pairs
             ]
             chunk = max(1, len(payloads) // (self.workers * 4))
@@ -236,17 +308,23 @@ class SweepRunner:
         ]
 
 
-# One runner per worker process, so the schedule cache survives across
-# the tasks that land on that worker.
-_WORKER_RUNNER: SweepRunner | None = None
+# One runner per (worker process, store handle), so the schedule
+# cache — and the store attachment — survives across the tasks that
+# land on that worker.
+_WORKER_RUNNERS: dict[tuple[str, int] | None, SweepRunner] = {}
 
 
 def _measure_pair_task(payload: tuple) -> MeasuredPair:
-    global _WORKER_RUNNER
-    if _WORKER_RUNNER is None:
-        _WORKER_RUNNER = SweepRunner(workers=1)
-    instance, algorithm, pair, horizon, dense, probes, seed = payload
-    return _WORKER_RUNNER.measure_pair(
+    instance, algorithm, pair, horizon, dense, probes, seed, store_handle = payload
+    runner = _WORKER_RUNNERS.get(store_handle)
+    if runner is None:
+        store = None
+        if store_handle is not None:
+            store_dir, memory_cap = store_handle
+            store = ScheduleStore(store_dir, memory_cap=memory_cap)
+        runner = SweepRunner(workers=1, store=store)
+        _WORKER_RUNNERS[store_handle] = runner
+    return runner.measure_pair(
         instance, algorithm, pair, horizon, dense=dense, probes=probes, seed=seed
     )
 
@@ -259,9 +337,10 @@ def measure_pairwise(
     dense: int = 64,
     probes: int = 64,
     seed: int = 0,
+    store: ScheduleStore | str | Path | None = None,
 ) -> MeasuredPair:
     """Measure one pair with a throwaway serial runner (legacy API)."""
-    return SweepRunner(workers=1).measure_pair(
+    return SweepRunner(workers=1, store=store).measure_pair(
         instance, algorithm, pair, horizon, dense=dense, probes=probes, seed=seed
     )
 
@@ -275,9 +354,10 @@ def measure_instance(
     probes: int = 64,
     seed: int = 0,
     workers: int | None = 1,
+    store: ScheduleStore | str | Path | None = None,
 ) -> list[MeasuredPair]:
     """Measure an instance; ``workers=None`` uses every core."""
-    return SweepRunner(workers=workers).measure_instance(
+    return SweepRunner(workers=workers, store=store).measure_instance(
         instance,
         algorithm,
         horizon,

@@ -72,6 +72,7 @@ class Instance:
 
     @property
     def num_agents(self) -> int:
+        """Number of agents (channel sets) in the instance."""
         return len(self.sets)
 
     def overlapping_pairs(self) -> list[tuple[int, int]]:

@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.core.schedule import CyclicSchedule
+from repro.core.store import ScheduleStore, store_key
 from repro.sim import runner
 from repro.sim.workloads import Instance, random_subsets, single_overlap
 
@@ -127,3 +128,80 @@ class TestSweepRunner:
             inst, "paper", horizon=60_000, dense=2, probes=2
         )
         assert len(results) == len(inst.overlapping_pairs())
+
+
+class TestSweepRunnerStore:
+    def test_store_accepts_directory_path(self, tmp_path):
+        engine = runner.SweepRunner(workers=1, store=tmp_path)
+        assert isinstance(engine.store, ScheduleStore)
+        assert engine.store.store_dir == tmp_path
+
+    def test_serial_parity_store_on_vs_off(self, tmp_path):
+        inst = random_subsets(16, 8, 5, seed=4)
+        plain = runner.SweepRunner(workers=1).measure_instance(
+            inst, "paper", horizon=60_000, dense=2, probes=2
+        )
+        stored = runner.SweepRunner(workers=1, store=tmp_path).measure_instance(
+            inst, "paper", horizon=60_000, dense=2, probes=2
+        )
+        assert plain == stored
+
+    def test_parallel_parity_store_on_vs_off(self, tmp_path):
+        inst = random_subsets(16, 8, 5, seed=4)  # 10 overlapping pairs
+        plain = runner.SweepRunner(workers=2).measure_instance(
+            inst, "paper", horizon=60_000, dense=2, probes=2
+        )
+        stored = runner.SweepRunner(workers=2, store=tmp_path).measure_instance(
+            inst, "paper", horizon=60_000, dense=2, probes=2
+        )
+        assert plain == stored
+
+    def test_parallel_sweep_builds_each_table_exactly_once(self, tmp_path):
+        # The store's acceptance contract: one build per distinct
+        # (channels, n, algorithm, seed) key per sweep, asserted via the
+        # build counter — workers only attach what the parent prewarmed.
+        inst = random_subsets(16, 8, 5, seed=4)  # 10 pairs, 5 distinct sets
+        engine = runner.SweepRunner(workers=2, store=tmp_path)
+        engine.measure_instance(inst, "paper", horizon=60_000, dense=2, probes=2)
+        distinct = {
+            store_key(s, inst.n, "paper", 0) for s in inst.sets
+        }
+        assert engine.store.builds == len(distinct)
+        assert len(engine.store.entries()) == len(distinct)
+        # A second sweep over the same instance builds nothing new.
+        engine.measure_instance(inst, "paper", horizon=60_000, dense=2, probes=2)
+        assert engine.store.builds == len(distinct)
+
+    def test_prewarm_touches_each_distinct_key_once(self, tmp_path):
+        inst = random_subsets(16, 8, 5, seed=4)
+        engine = runner.SweepRunner(workers=1, store=tmp_path)
+        touched = engine.prewarm(inst, "drds")
+        assert touched == len(set(inst.sets))
+        assert engine.store.builds == len(set(inst.sets))
+        # Prewarming again attaches (store) / hits (local cache) only.
+        engine.prewarm(inst, "drds")
+        assert engine.store.builds == len(set(inst.sets))
+
+    def test_prewarm_warns_when_working_set_exceeds_cap(self, tmp_path):
+        # 5 distinct paper tables at n=16 do not fit under a tiny cap:
+        # prewarming must warn that workers will rebuild the evicted rest.
+        inst = random_subsets(16, 8, 5, seed=4)
+        engine = runner.SweepRunner(
+            workers=1, store=ScheduleStore(tmp_path, memory_cap=2048)
+        )
+        with pytest.warns(RuntimeWarning, match="workers will rebuild"):
+            engine.prewarm(inst, "paper")
+
+    def test_random_baseline_store_keys_by_seed(self, tmp_path):
+        inst = Instance(8, [frozenset({1, 2}), frozenset({2, 3})], "manual")
+        engine = runner.SweepRunner(workers=1, store=tmp_path)
+        engine.measure_pair(inst, "random", (0, 1), horizon=100_000, dense=4, probes=4)
+        assert engine.store.builds == 2  # distinct per-agent seeds
+        plain = runner.SweepRunner(workers=1)
+        expected = plain.measure_pair(
+            inst, "random", (0, 1), horizon=100_000, dense=4, probes=4
+        )
+        again = engine.measure_pair(
+            inst, "random", (0, 1), horizon=100_000, dense=4, probes=4
+        )
+        assert again == expected

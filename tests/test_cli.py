@@ -156,6 +156,61 @@ class TestSweepCommand:
         assert "sweep failed" in out
 
 
+class TestStoreCommand:
+    def test_prewarm_then_sweep_attaches(self, capsys, tmp_path):
+        store_dir = str(tmp_path / "store")
+        code = main(
+            ["store", "prewarm", "--agents", "1,5/5,9/1,9", "--universe", "16",
+             "--algorithm", "drds", "--store-dir", store_dir]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "3 built" in out
+        code = main(
+            ["sweep", "--agents", "1,5/5,9/1,9", "--universe", "16",
+             "--algorithm", "drds", "--dense", "4", "--probes", "4",
+             "--store-dir", store_dir]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 built, 3 attached" in out
+
+    def test_inspect_lists_entries(self, capsys, tmp_path):
+        store_dir = str(tmp_path / "store")
+        main(
+            ["store", "prewarm", "--agents", "1,5/5,9", "--universe", "16",
+             "--store-dir", store_dir]
+        )
+        capsys.readouterr()
+        code = main(["store", "inspect", "--store-dir", store_dir])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2 entries" in out
+        assert "digest" in out and "period" in out
+
+    def test_evict_all_and_by_digest(self, capsys, tmp_path):
+        store_dir = str(tmp_path / "store")
+        main(
+            ["store", "prewarm", "--agents", "1,5/5,9", "--universe", "16",
+             "--store-dir", store_dir]
+        )
+        capsys.readouterr()
+        code = main(["store", "evict", "--store-dir", store_dir, "--all"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "evicted 2 entries" in out
+        code = main(
+            ["store", "evict", "--store-dir", store_dir, "--digest", "deadbeef"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "no such entry" in out
+
+    def test_store_requires_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["store"])
+
+
 class TestWalkCommand:
     def test_plots(self, capsys):
         code = main(["walk", "--bits", "110100"])
