@@ -1,0 +1,132 @@
+"""The streaming tiled engine vs the scalar loop, measured on Jump-Stay.
+
+The acceptance bench for ``repro.core.stream``: Jump-Stay is the
+baseline whose cubic global period made huge-universe sweeps
+unmeasurable — past ``BATCH_TABLE_LIMIT`` the only correct path used to
+be the scalar per-shift loop.  Two measurements are recorded to
+``results/stream_sweep.txt`` / ``results/BENCH_stream_sweep.json``:
+
+* **both-engines regime** (``n = 64``, period 888,822 slots — under the
+  table limit): the streaming and batched profiles are asserted
+  bit-identical over the full strided shift set, and the streaming
+  engine is timed against the scalar reference on a shift subset (the
+  scalar loop is too slow for the full set — which is the point);
+* **stream-only regime** (``n = 128``, period 6,692,790 slots — past
+  the table limit): the streamed sweep that produces Jump-Stay's
+  measured Table-1 column, timed end to end.
+
+The gate asserts parity and a wall-clock win for streaming over the
+scalar loop.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import repro
+from repro.core.batch import BATCH_TABLE_LIMIT, ttr_sweep
+from repro.core.verification import strided_shift_range, ttr_for_shift
+from repro.sim.workloads import single_overlap
+
+N_BOTH = 64
+N_STREAM_ONLY = 128
+K = L = 3
+MAX_SHIFTS = 2_000
+SCALAR_SUBSET = 48  # shifts the scalar loop is timed on
+
+
+def _build(n: int):
+    instance = single_overlap(n, K, L, seed=0)
+    a = repro.build_schedule(instance.sets[0], n, algorithm="jump-stay")
+    b = repro.build_schedule(instance.sets[1], n, algorithm="jump-stay")
+    return a, b
+
+
+def test_stream_vs_scalar(benchmark, record):
+    """Recorded wall-clock comparison + the bit-identical parity gate."""
+    a, b = _build(N_BOTH)
+    assert max(a.period, b.period) <= BATCH_TABLE_LIMIT
+    shifts = list(strided_shift_range(a, b, MAX_SHIFTS))
+    horizon = 4 * max(a.period, b.period)
+
+    start = time.perf_counter()
+    streamed = ttr_sweep(a, b, shifts, horizon, engine="stream")
+    stream_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    batched = ttr_sweep(a, b, shifts, horizon, engine="batched")
+    batched_seconds = time.perf_counter() - start
+    assert streamed == batched, "stream and batched profiles must be bit-identical"
+
+    subset = shifts[:: max(1, len(shifts) // SCALAR_SUBSET)]
+    start = time.perf_counter()
+    scalar = {s: ttr_for_shift(a, b, s, horizon) for s in subset}
+    scalar_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    stream_subset = ttr_sweep(a, b, subset, horizon, engine="stream")
+    stream_subset_seconds = time.perf_counter() - start
+    assert stream_subset == scalar
+
+    a_large, b_large = _build(N_STREAM_ONLY)
+    assert max(a_large.period, b_large.period) > BATCH_TABLE_LIMIT
+    shifts_large = list(strided_shift_range(a_large, b_large, MAX_SHIFTS))
+    horizon_large = 4 * max(a_large.period, b_large.period)
+
+    def stream_large():
+        start = time.perf_counter()
+        profile = ttr_sweep(a_large, b_large, shifts_large, horizon_large)
+        return time.perf_counter() - start, profile
+
+    large_seconds, large_profile = benchmark.pedantic(
+        stream_large, rounds=1, iterations=1
+    )
+    assert all(t is not None for t in large_profile.values())
+    worst_large = max(large_profile.values())
+
+    speedup = scalar_seconds / stream_subset_seconds
+    payload = {
+        "algorithm": "jump-stay",
+        "workload": f"single_overlap(k=l={K}, seed=0)",
+        "both_engines_n": N_BOTH,
+        "both_engines_period": a.period,
+        "shifts": len(shifts),
+        "stream_seconds": round(stream_seconds, 4),
+        "batched_seconds": round(batched_seconds, 4),
+        "parity_bit_identical": True,
+        "scalar_subset_shifts": len(subset),
+        "scalar_subset_seconds": round(scalar_seconds, 4),
+        "stream_subset_seconds": round(stream_subset_seconds, 4),
+        "stream_vs_scalar_speedup": round(speedup, 2),
+        "stream_only_n": N_STREAM_ONLY,
+        "stream_only_period": a_large.period,
+        "stream_only_shifts": len(shifts_large),
+        "stream_only_seconds": round(large_seconds, 4),
+        "stream_only_worst_ttr": int(worst_large),
+    }
+    results_dir = Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    (results_dir / "BENCH_stream_sweep.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    record(
+        "stream_sweep",
+        f"Jump-Stay shift sweeps (single-overlap k=l={K}):\n"
+        f"  n={N_BOTH} (period {a.period}, both engines, {len(shifts)} shifts)\n"
+        f"    streaming            {stream_seconds:8.3f} s\n"
+        f"    batched              {batched_seconds:8.3f} s  (bit-identical)\n"
+        f"    scalar, {len(subset):4d} shifts  {scalar_seconds:8.3f} s\n"
+        f"    stream, {len(subset):4d} shifts  {stream_subset_seconds:8.3f} s  "
+        f"({speedup:.1f}x over scalar)\n"
+        f"  n={N_STREAM_ONLY} (period {a_large.period} > table limit "
+        f"{BATCH_TABLE_LIMIT}: stream only)\n"
+        f"    streaming, {len(shifts_large)} shifts  {large_seconds:8.3f} s, "
+        f"worst TTR {worst_large}\n"
+        "the scalar loop was the only correct path past the table limit "
+        "before repro.core.stream",
+    )
+    assert speedup > 1.0, (
+        f"streaming must beat the scalar loop, got {speedup:.2f}x "
+        f"({scalar_seconds:.3f}s vs {stream_subset_seconds:.3f}s)"
+    )

@@ -28,6 +28,11 @@ PAPER_CLAIMS: dict[str, dict[str, str]] = {
         "symmetric": "measured, n-free",
         "source": "after Lin-Yu-Liu-Leung-Chu",
     },
+    "async-etch": {
+        "asymmetric": "O(n^3) anonymized",
+        "symmetric": "measured",
+        "source": "after Zhang-Li-Yu-Wang (ETCH)",
+    },
     "paper": {
         "asymmetric": "O(|Si||Sj| loglog n)",
         "symmetric": "O(1) (via 3.2)",

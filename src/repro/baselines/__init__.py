@@ -11,6 +11,8 @@ al.)
 al.)
 ``zos`` (after Lin et     ``O~(m^3)`` in ``m``,    measured
 al. 2015)                 free of ``n``
+``async-etch`` (after     ``O(n^3)`` anonymized    measured
+Zhang et al. 2011)
 ========================  =======================  =================
 
 The paper's construction (``repro.core``) achieves
@@ -30,6 +32,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 
+from repro.baselines.asyncetch import AsyncETCHSchedule
 from repro.baselines.crseq import CRSEQSchedule
 from repro.baselines.drds import DRDSSchedule
 from repro.baselines.jump_stay import JumpStaySchedule
@@ -39,6 +42,7 @@ from repro.core.schedule import Schedule
 from repro.core.store import ScheduleStore
 
 __all__ = [
+    "AsyncETCHSchedule",
     "CRSEQSchedule",
     "JumpStaySchedule",
     "DRDSSchedule",
@@ -54,6 +58,7 @@ _BUILDERS = {
     "jump-stay": lambda channels, n, seed: JumpStaySchedule(channels, n),
     "drds": lambda channels, n, seed: DRDSSchedule(channels, n),
     "zos": lambda channels, n, seed: ZOSSchedule(channels, n),
+    "async-etch": lambda channels, n, seed: AsyncETCHSchedule(channels, n),
     "random": lambda channels, n, seed: RandomSchedule(channels, n, seed=seed),
 }
 

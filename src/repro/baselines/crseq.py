@@ -24,10 +24,13 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 
+import numpy as np
+
+from repro.baselines.projection import project_onto_available
 from repro.core.primes import smallest_prime_at_least
 from repro.core.schedule import Schedule
 
-__all__ = ["CRSEQSchedule", "crseq_global_channel"]
+__all__ = ["CRSEQSchedule", "crseq_global_channel", "crseq_global_block"]
 
 
 def crseq_global_channel(t: int, prime: int) -> int:
@@ -41,6 +44,20 @@ def crseq_global_channel(t: int, prime: int) -> int:
         triangular = subsequence * (subsequence + 1) // 2
         return (triangular + offset) % prime
     return subsequence
+
+
+def crseq_global_block(start: int, stop: int, prime: int) -> np.ndarray:
+    """Global CRSEQ channels for slots ``start .. stop-1``, vectorized.
+
+    The closed form of :func:`crseq_global_channel` over a whole window
+    — the chunk source for the streaming engine's tiles.
+    """
+    if stop < start:
+        raise ValueError(f"empty window: start={start}, stop={stop}")
+    t = np.arange(start, stop, dtype=np.int64) % (3 * prime * prime)
+    subsequence, offset = np.divmod(t, 3 * prime)
+    triangular = subsequence * (subsequence + 1) // 2
+    return np.where(offset < 2 * prime, (triangular + offset) % prime, subsequence)
 
 
 class CRSEQSchedule(Schedule):
@@ -59,8 +76,17 @@ class CRSEQSchedule(Schedule):
         self.period = 3 * self.prime * self.prime
 
     def channel_at(self, t: int) -> int:
+        """Channel at slot ``t``: the global sequence, projected."""
         c = crseq_global_channel(t, self.prime)
         if c in self.channels:
             return c
         k = len(self.sorted_channels)
         return self.sorted_channels[c % k]
+
+    def channel_block(self, start: int, stop: int) -> np.ndarray:
+        """Vectorized window: closed-form global channels, projected."""
+        raw = crseq_global_block(start, stop, self.prime)
+        return project_onto_available(raw, self.sorted_channels)
+
+    def _compute_period_array(self) -> np.ndarray:
+        return self.channel_block(0, self.period)

@@ -50,6 +50,7 @@ from collections.abc import Iterable
 
 import numpy as np
 
+from repro.baselines.projection import project_onto_available
 from repro.core.schedule import Schedule
 
 __all__ = [
@@ -179,9 +180,22 @@ def build_global_sequence(n: int, verify: bool | None = None) -> np.ndarray:
 
 
 class DRDSSchedule(Schedule):
-    """DRDS global sequence projected onto an agent's available set."""
+    """DRDS global sequence projected onto an agent's available set.
 
-    def __init__(self, channels: Iterable[int], n: int):
+    ``global_sequence`` optionally supplies the global sequence as an
+    externally owned array — typically a read-only memmap attached from
+    a :class:`~repro.core.store.ScheduleStore`
+    (:meth:`~repro.core.store.ScheduleStore.global_sequence`), so many
+    channel sets and processes share one materialization instead of
+    each rebuilding the ``45 n^2 + 8n``-slot construction.
+    """
+
+    def __init__(
+        self,
+        channels: Iterable[int],
+        n: int,
+        global_sequence: np.ndarray | None = None,
+    ):
         ordered = sorted(set(int(c) for c in channels))
         if not ordered:
             raise ValueError("channel set must be nonempty")
@@ -190,12 +204,37 @@ class DRDSSchedule(Schedule):
         self.n = n
         self.sorted_channels = tuple(ordered)
         self.channels = frozenset(ordered)
-        self._global = build_global_sequence(n)
+        if global_sequence is None:
+            global_sequence = build_global_sequence(n)
+        elif len(global_sequence) != sequence_period(n):
+            raise ValueError(
+                f"global sequence has {len(global_sequence)} slots, "
+                f"expected {sequence_period(n)} for n={n}"
+            )
+        self._global = global_sequence
         self.period = len(self._global)
 
     def channel_at(self, t: int) -> int:
+        """Channel at slot ``t``: the global sequence, projected."""
         c = int(self._global[t % self.period])
         if c in self.channels:
             return c
         k = len(self.sorted_channels)
         return self.sorted_channels[c % k]
+
+    def channel_block(self, start: int, stop: int) -> np.ndarray:
+        """Vectorized window: one gather from the global sequence,
+        projected — no per-slot Python dispatch, and no per-set table
+        when the window feeds the streaming engine."""
+        if stop < start:
+            raise ValueError(f"empty window: start={start}, stop={stop}")
+        lo = start % self.period
+        if lo + (stop - start) <= self.period:
+            raw = self._global[lo : lo + (stop - start)]
+        else:
+            indices = np.arange(start, stop, dtype=np.int64) % self.period
+            raw = self._global[indices]
+        return project_onto_available(raw, self.sorted_channels)
+
+    def _compute_period_array(self) -> np.ndarray:
+        return self.channel_block(0, self.period)

@@ -23,10 +23,17 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 
+import numpy as np
+
+from repro.baselines.projection import project_onto_available
 from repro.core.primes import smallest_prime_greater_than
 from repro.core.schedule import Schedule
 
-__all__ = ["JumpStaySchedule", "jump_stay_global_channel"]
+__all__ = [
+    "JumpStaySchedule",
+    "jump_stay_global_channel",
+    "jump_stay_global_block",
+]
 
 
 def jump_stay_global_channel(t: int, prime: int) -> int:
@@ -39,6 +46,23 @@ def jump_stay_global_channel(t: int, prime: int) -> int:
     if offset < 2 * prime:
         return (start + offset * step) % prime
     return step
+
+
+def jump_stay_global_block(start: int, stop: int, prime: int) -> np.ndarray:
+    """Global Jump-Stay channels for slots ``start .. stop-1``, vectorized.
+
+    The closed form of :func:`jump_stay_global_channel` over a whole
+    window — the streaming engine generates its tiles from this, so
+    Jump-Stay's cubic period never needs to be materialized.
+    """
+    if stop < start:
+        raise ValueError(f"empty window: start={start}, stop={stop}")
+    t = np.arange(start, stop, dtype=np.int64)
+    round_index, offset = np.divmod(t, 3 * prime)
+    step = (round_index % (prime - 1)) + 1
+    start_channel = (round_index // (prime - 1)) % prime
+    jump = (start_channel + offset * step) % prime
+    return np.where(offset < 2 * prime, jump, step)
 
 
 class JumpStaySchedule(Schedule):
@@ -57,9 +81,22 @@ class JumpStaySchedule(Schedule):
         self.period = 3 * self.prime * self.prime * (self.prime - 1)
 
     def channel_at(self, t: int) -> int:
+        """Channel at slot ``t``: the global sequence, projected."""
         c = jump_stay_global_channel(t % self.period, self.prime)
         c %= self.n
         if c in self.channels:
             return c
         k = len(self.sorted_channels)
         return self.sorted_channels[c % k]
+
+    def channel_block(self, start: int, stop: int) -> np.ndarray:
+        """Vectorized window: closed-form global channels, projected.
+
+        This is what keeps Jump-Stay streamable past ``n = 128``, where
+        its cubic period exceeds the batched engine's table limit.
+        """
+        raw = jump_stay_global_block(start, stop, self.prime) % self.n
+        return project_onto_available(raw, self.sorted_channels)
+
+    def _compute_period_array(self) -> np.ndarray:
+        return self.channel_block(0, self.period)

@@ -1,0 +1,34 @@
+"""Vectorized projection of a global sequence onto an available set.
+
+Every global-sequence baseline in this package (CRSEQ, Jump-Stay, DRDS,
+AsyncETCH) plays one universe-wide channel sequence *projected* onto
+the agent's available set: a slot whose global channel the agent owns
+is played natively, anything else maps deterministically to
+``available[c mod k]``.  The scalar form lives in each baseline's
+``channel_at``; this helper is the shared window-at-a-time form that
+their ``channel_block`` / ``_compute_period_array`` overrides build on,
+which is what makes those baselines streamable
+(:mod:`repro.core.stream`) without per-slot Python dispatch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["project_onto_available"]
+
+
+def project_onto_available(
+    raw: np.ndarray, sorted_channels: tuple[int, ...]
+) -> np.ndarray:
+    """Project raw global channels onto an agent's available set.
+
+    ``raw`` holds global channel ids (already reduced mod ``n`` where
+    the construction requires it); ids the agent owns pass through,
+    every other id ``c`` maps to ``sorted_channels[c mod k]`` — the
+    same rule as the baselines' scalar ``channel_at`` paths.
+    """
+    available = np.asarray(sorted_channels, dtype=np.int64)
+    raw = np.asarray(raw, dtype=np.int64)
+    native = np.isin(raw, available)
+    return np.where(native, raw, available[raw % available.size])

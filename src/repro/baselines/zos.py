@@ -126,6 +126,7 @@ class ZOSSchedule(Schedule):
         self.period = zos_period(p)
 
     def channel_at(self, t: int) -> int:
+        """Channel at slot ``t``: Z, O or S subsequence of the round."""
         p = self.prime
         round_index, offset = divmod(t % self.period, 4 * p)
         if offset < p:  # Z-subsequence
@@ -136,6 +137,27 @@ class ZOSSchedule(Schedule):
             x = (start + (offset - p) * rate) % p
             return int(self._residue_channel[x])
         return int(self._stay_channel[rate - 1])  # S-subsequence
+
+    def channel_block(self, start: int, stop: int) -> np.ndarray:
+        """Vectorized window: the Z/O/S anatomy evaluated in closed form.
+
+        Lets the streaming engine sweep ZOS at set sizes whose
+        ``Theta(m^3)`` period exceeds the batched engine's table limit.
+        """
+        if stop < start:
+            raise ValueError(f"empty window: start={start}, stop={stop}")
+        p = self.prime
+        t = np.arange(start, stop, dtype=np.int64) % self.period
+        round_index, offset = np.divmod(t, 4 * p)
+        rate = (round_index % (p - 1)) + 1
+        orbit_start = (round_index // (p - 1)) % p
+        x = (orbit_start + (offset - p) * rate) % p
+        out = np.where(
+            offset < 3 * p,
+            self._residue_channel[x],
+            self._stay_channel[rate - 1],
+        )
+        return np.where(offset < p, self._zero_anchor, out)
 
     def _compute_period_array(self) -> np.ndarray:
         """Vectorized full-period materialization.

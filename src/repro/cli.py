@@ -8,7 +8,8 @@ numbers without writing Python:
     python -m repro bound --k 3 --l 4 --universe 64
     python -m repro simulate --agents 3,17,40/17,58/3,58 --universe 64
     python -m repro sweep --agents 3,17,40/17,58/3,58 --universe 64
-    python -m repro sweep --agents ... --universe 64 --store-dir .schedules
+    python -m repro sweep --agents ... --universe 64 --engine stream --tile-bytes 65536
+    python -m repro sweep --agents ... --universe 64 --store-dir .schedules --store-cap 1000000
     python -m repro store prewarm --agents ... --universe 64 --store-dir .schedules
     python -m repro store inspect --store-dir .schedules
     python -m repro store evict --store-dir .schedules --all
@@ -118,6 +119,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="shared schedule store: period tables are materialized here "
         "once and attached (read-only memmaps) by every process",
     )
+    sweep.add_argument(
+        "--store-cap",
+        type=int,
+        default=None,
+        help="byte cap on the schedule store's on-disk footprint "
+        "(least-recently-attached tables are evicted first); "
+        "requires --store-dir",
+    )
+    sweep.add_argument(
+        "--engine",
+        choices=("auto", "batched", "stream"),
+        default="auto",
+        help="sweep engine: 'auto' dispatches on period size, 'stream' "
+        "forces the tiled streaming engine (works at any period), "
+        "'batched' forces the table engine (periods up to its limit)",
+    )
+    sweep.add_argument(
+        "--tile-bytes",
+        type=int,
+        default=None,
+        help="byte budget per streaming (shift, time) tile "
+        "(default 4 MiB); results are invariant under the choice",
+    )
 
     store = sub.add_parser(
         "store",
@@ -220,7 +244,22 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
-    runner = SweepRunner(workers=args.workers or None, store=args.store_dir)
+    if args.store_cap is not None and args.store_dir is None:
+        print("sweep failed: --store-cap requires --store-dir")
+        return 2
+    store = None
+    if args.store_dir is not None:
+        store = (
+            ScheduleStore(args.store_dir)
+            if args.store_cap is None
+            else ScheduleStore(args.store_dir, memory_cap=args.store_cap)
+        )
+    runner = SweepRunner(
+        workers=args.workers or None,
+        store=store,
+        engine=args.engine,
+        tile_bytes=args.tile_bytes,
+    )
     try:
         instance = Instance(
             args.universe, [frozenset(s) for s in args.agents], "cli"
@@ -246,6 +285,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         for m in measured
     ]
     print(f"algorithm: {args.algorithm}")
+    if args.engine != "auto":
+        print(f"engine:    {args.engine}")
     print(format_table(["pair", "worst TTR", "mean", "p95", "shifts"], rows))
     missed = runner.cache_misses
     reused = runner.cache_hits

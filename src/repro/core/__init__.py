@@ -24,10 +24,16 @@ verification
     Executable rendezvous-time definitions (Section 2).
 batch
     Batched shift-sweep engine: whole TTR profiles in one vectorized
-    pass over a ``(shift, time)`` coincidence matrix.
+    pass over a ``(shift, time)`` coincidence matrix — and the engine
+    dispatcher (scalar / batched / stream).
+stream
+    Streaming tiled-sweep engine: the same profiles computed in
+    fixed-byte ``(shift, time)`` tiles generated on demand, for
+    schedules whose period is too large to table.
 store
     Shared-memory schedule store: period tables materialized once as
-    read-only memmaps and attached by every sweep process.
+    read-only memmaps and attached by every sweep process; also shares
+    the global DRDS sequence across channel sets.
 """
 
 from repro.core.epoch import EpochSchedule, rendezvous_bound

@@ -28,9 +28,13 @@ vectorized pass (methodology write-up: ``docs/BENCHMARKS.md``):
   caller's horizon is larger: the joint pattern is periodic, so a shift
   silent for a full joint period never rendezvouses.
 
-Schedules whose period exceeds ``BATCH_TABLE_LIMIT`` (Jump-Stay's cubic
-period at large ``n``) fall back to the scalar engine — correctness
-never depends on the fast path.
+``ttr_sweep`` is also the engine *dispatcher*: tiny joint periods go
+to the scalar reference loop (vectorized setup would dominate),
+moderate periods to the batched table path here, and periods beyond
+``BATCH_TABLE_LIMIT`` (Jump-Stay's cubic period at large ``n``) to the
+streaming tiled engine (:mod:`repro.core.stream`), which never
+materializes a table — correctness never depends on any one path, and
+``engine=`` forces a specific one.
 """
 
 from __future__ import annotations
@@ -42,14 +46,24 @@ import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
 from repro.core import schedule as _schedule
+from repro.core import stream as _stream
 from repro.core.schedule import Schedule
 
-__all__ = ["ttr_sweep", "BATCH_TABLE_LIMIT"]
+__all__ = ["ttr_sweep", "BATCH_TABLE_LIMIT", "SCALAR_JOINT_LIMIT", "ENGINES"]
 
 # Largest period (slots) worth materializing as a full table; beyond it
-# the per-shift scalar path is used.  Shares the schedule cache limit so
-# the fast path never sweeps against tables period_table() won't cache.
+# the streaming tiled engine takes over.  Shares the schedule cache
+# limit so the batched path never sweeps against tables period_table()
+# won't cache.
 BATCH_TABLE_LIMIT = _schedule._CACHE_LIMIT
+
+#: Joint periods (lcm of the pair) at or below this go to the scalar
+#: reference loop under ``engine="auto"`` — at this size the batched
+#: engine's vectorized setup costs more than the whole scan.
+SCALAR_JOINT_LIMIT = 64
+
+#: Valid values for the ``engine`` selector.
+ENGINES = ("auto", "batched", "stream", "scalar")
 
 _INITIAL_TIME_BLOCK = 256
 
@@ -60,15 +74,27 @@ def ttr_sweep(
     shifts: Iterable[int],
     horizon: int,
     max_cells: int = 1 << 21,
+    engine: str = "auto",
+    tile_bytes: int | None = None,
 ) -> dict[int, int | None]:
-    """TTR for every relative shift, in one batched pass.
+    """TTR for every relative shift, in one batched or streamed pass.
 
     Semantics are identical to calling
     :func:`repro.core.verification.ttr_for_shift` per shift: the result
     maps each shift to the first slot (counted from the later wake-up)
     where the schedules coincide, or ``None`` when no coincidence occurs
     within ``horizon`` slots.  ``max_cells`` bounds the area of any
-    single ``(shift, time)`` block, which bounds peak memory.
+    single ``(shift, time)`` block on the batched path, which bounds
+    peak memory.
+
+    ``engine`` selects the execution path (see :data:`ENGINES`):
+    ``"auto"`` — the default — dispatches three ways on period size
+    (scalar loop for tiny joint periods, the batched table path up to
+    ``BATCH_TABLE_LIMIT``, the streaming tiled engine of
+    :mod:`repro.core.stream` beyond it); the explicit names force one
+    path.  ``tile_bytes`` tunes the streaming tile budget
+    (:data:`repro.core.stream.DEFAULT_TILE_BYTES` when ``None``).  All
+    engines return bit-identical results.
 
     Either side may be a raw 1-D period array instead of a
     :class:`~repro.core.schedule.Schedule` — e.g. a read-only memmap
@@ -77,6 +103,8 @@ def ttr_sweep(
     converted once): the array *is* the period table, its length the
     period.
     """
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
     a = _coerce_schedule(a)
     b = _coerce_schedule(b)
     shift_list = [int(s) for s in shifts]
@@ -84,20 +112,40 @@ def ttr_sweep(
         return {}
     if horizon <= 0:
         return {s: None for s in shift_list}
+    joint = math.lcm(a.period, b.period)
+    if engine == "auto":
+        if joint <= SCALAR_JOINT_LIMIT:
+            engine = "scalar"
+        elif a.period <= BATCH_TABLE_LIMIT and b.period <= BATCH_TABLE_LIMIT:
+            engine = "batched"
+        else:
+            engine = "stream"
+    if engine == "scalar":
+        # The joint pattern repeats every lcm slots, so capping the
+        # scalar scan there preserves every answer (including misses).
+        return _scalar_sweep(a, b, shift_list, min(horizon, joint))
+    if engine == "stream":
+        return _stream.ttr_sweep_stream(
+            a,
+            b,
+            shift_list,
+            horizon,
+            tile_bytes=_stream.DEFAULT_TILE_BYTES if tile_bytes is None else tile_bytes,
+        )
     if a.period > BATCH_TABLE_LIMIT or b.period > BATCH_TABLE_LIMIT:
-        return _scalar_sweep(a, b, shift_list, horizon)
+        raise ValueError(
+            f"engine='batched' needs both periods <= {BATCH_TABLE_LIMIT}, "
+            f"got {a.period} and {b.period}; use engine='stream'"
+        )
 
-    arr = np.asarray(shift_list, dtype=np.int64)
-    off_a = np.where(arr >= 0, arr, 0) % a.period
-    off_b = np.where(arr < 0, -arr, 0) % b.period
     # Distinct offset pairs are the real work items: an exhaustive sweep
-    # over lcm(Pa, Pb) shifts collapses to at most Pa (or Pb) rows.
-    pairs = np.stack([off_a, off_b], axis=1)
-    unique_pairs, inverse = np.unique(pairs, axis=0, return_inverse=True)
-    inverse = inverse.reshape(-1)  # numpy 2.0.x returns it (n, 1)-shaped
+    # over lcm(Pa, Pb) shifts collapses to at most Pa (or Pb) rows.  The
+    # reduction is shared with the streaming engine — bit-identical
+    # cross-engine results depend on it staying single-sourced.
+    unique_pairs, inverse = _stream.reduce_shifts(a, b, shift_list)
 
     # The joint pattern repeats every lcm slots: nothing new after that.
-    effective = min(horizon, math.lcm(a.period, b.period))
+    effective = min(horizon, joint)
     # Every shift pins one side's offset to zero.  Profiling the sign
     # groups separately keeps that side on the constant-start fast path
     # in _windows (one tiled row) instead of forcing a strided gather
@@ -115,20 +163,14 @@ def ttr_sweep(
                 effective,
                 max_cells,
             )
-    scattered = ttrs[inverse]
-    return {
-        s: None if t < 0 else int(t)
-        for s, t in zip(shift_list, scattered.tolist())
-    }
+    return _stream.scatter_ttrs(shift_list, ttrs, inverse)
 
 
 def _coerce_schedule(x: Schedule | np.ndarray) -> Schedule:
-    """Wrap a raw period array as a schedule view; pass schedules through."""
-    if isinstance(x, Schedule):
-        return x
-    from repro.core.store import StoredSchedule
+    """Shared raw-array adapter (see :func:`repro.core.store.coerce_schedule`)."""
+    from repro.core.store import coerce_schedule
 
-    return StoredSchedule(x)
+    return coerce_schedule(x)
 
 
 def _scalar_sweep(

@@ -11,11 +11,15 @@ eventually cyclic, so the base class carries a ``period`` and supports
 vectorized materialization into numpy arrays — the verification engine
 and the simulator compare schedules as arrays rather than slot by slot.
 
-The bulk hook is :meth:`Schedule.period_table`: one full period as a
-shared read-only array, cached up to ``_CACHE_LIMIT`` slots.  The
-batched engine (:mod:`repro.core.batch`) builds every sweep from window
-views of that table, which is why adding a new algorithm only requires
-``channel_at`` plus (optionally) a vectorized ``_period_array``.
+The bulk hooks are :meth:`Schedule.period_table` — one full period as a
+shared read-only array, cached up to ``_CACHE_LIMIT`` slots — and
+:meth:`Schedule.channel_block` — an arbitrary slot window **without**
+materializing the period, which is what lets the streaming engine
+(:mod:`repro.core.stream`) sweep schedules whose period is too large to
+table.  The batched engine (:mod:`repro.core.batch`) builds every sweep
+from window views of the period table; adding a new algorithm only
+requires ``channel_at`` plus (optionally) a vectorized
+``_compute_period_array`` and/or ``channel_block``.
 """
 
 from __future__ import annotations
@@ -56,6 +60,22 @@ class Schedule:
         window of any size costs one pass over the period plus a copy.
         Schedules with huge periods (e.g. Jump-Stay's cubic period at
         large ``n``) evaluate only the requested window instead.
+        """
+        return self.channel_block(start, stop)
+
+    def channel_block(self, start: int, stop: int) -> np.ndarray:
+        """Channels for slots ``start .. stop-1``, generated on demand.
+
+        This is the chunk hook the streaming engine
+        (:mod:`repro.core.stream`) builds tiles from: unlike
+        :meth:`period_table` it never requires materializing a full
+        period, so it stays usable on schedules whose period exceeds
+        the table limit (Jump-Stay's cubic period at large ``n``).
+
+        The generic fallback indexes the cached period array modularly
+        for moderate periods and evaluates ``channel_at`` slot by slot
+        for huge ones; subclasses with closed-form sequences override
+        it with a vectorized window computation.
         """
         if stop < start:
             raise ValueError(f"empty window: start={start}, stop={stop}")
@@ -136,6 +156,12 @@ class ConstantSchedule(Schedule):
     def channel_at(self, t: int) -> int:
         """The constant channel, at every slot."""
         return self._channel
+
+    def channel_block(self, start: int, stop: int) -> np.ndarray:
+        """The constant channel, broadcast over the window."""
+        if stop < start:
+            raise ValueError(f"empty window: start={start}, stop={stop}")
+        return np.full(stop - start, self._channel, dtype=np.int64)
 
 
 class FunctionSchedule(Schedule):

@@ -36,6 +36,12 @@ Contracts
 * Writes are atomic (temp file + ``os.replace``), so concurrent
   builders of the same key race benignly: last writer wins, both
   results are identical.
+* The *global* DRDS sequence (one per universe size, shared by every
+  channel set) is stored once as its own entry
+  (:data:`GLOBAL_SEQUENCE_ALGORITHM`) and per-set DRDS tables are
+  built by projecting the attached memmap — counted separately in
+  ``global_builds`` / ``global_attaches`` so per-set "built exactly
+  once" assertions keep their meaning.
 
 See ``docs/ARCHITECTURE.md`` for where the store sits in the data flow
 and ``docs/API.md`` for the call-level reference.
@@ -60,8 +66,10 @@ __all__ = [
     "store_key",
     "key_digest",
     "build_plain",
+    "coerce_schedule",
     "DEFAULT_MEMORY_CAP",
     "STORE_PERIOD_LIMIT",
+    "GLOBAL_SEQUENCE_ALGORITHM",
 ]
 
 #: Default cap on the total bytes of period tables kept in a store.
@@ -69,8 +77,12 @@ DEFAULT_MEMORY_CAP = 1 << 30
 
 #: Largest period (slots) the store will materialize.  Shares the
 #: schedule cache / batched-engine limit: beyond it the batched sweep
-#: falls back to the scalar path and a table would never be used.
+#: hands off to the streaming engine and a table would never be used.
 STORE_PERIOD_LIMIT = _CACHE_LIMIT
+
+#: Pseudo-algorithm name under which the global DRDS sequence (one per
+#: universe size, independent of any channel set) is stored.
+GLOBAL_SEQUENCE_ALGORITHM = "drds-global"
 
 
 def store_key(
@@ -156,8 +168,39 @@ class StoredSchedule(Schedule):
         """Channel at local slot ``t`` — one read through the table."""
         return int(self._table[t % self.period])
 
+    def channel_block(self, start: int, stop: int) -> np.ndarray:
+        """Slice the wrapped table directly — a view when possible.
+
+        Windows that stay inside one period come back as zero-copy
+        slices; for a memmap attached from a :class:`ScheduleStore`
+        that means the streaming engine's tiles read straight off disk
+        (the OS page cache shares the pages across processes).  Windows
+        that wrap fall back to one modular gather.
+        """
+        if stop < start:
+            raise ValueError(f"empty window: start={start}, stop={stop}")
+        lo = start % self.period
+        if lo + (stop - start) <= self.period:
+            return self._table[lo : lo + (stop - start)]
+        indices = np.arange(start, stop, dtype=np.int64) % self.period
+        return self._table[indices]
+
     def _period_array(self) -> np.ndarray:
         return self._table
+
+
+def coerce_schedule(x: Schedule | np.ndarray) -> Schedule:
+    """Wrap a raw period array as a schedule view; pass schedules through.
+
+    The shared input adapter of both sweep engines
+    (:mod:`repro.core.batch`, :mod:`repro.core.stream`): either may be
+    handed a :class:`~repro.core.schedule.Schedule` or a raw 1-D period
+    array (e.g. a store memmap), and a raw array becomes a
+    :class:`StoredSchedule` view over it — int64 input is never copied.
+    """
+    if isinstance(x, Schedule):
+        return x
+    return StoredSchedule(x)
 
 
 class ScheduleStore:
@@ -190,6 +233,9 @@ class ScheduleStore:
         self.attaches = 0
         self.bypasses = 0
         self.evictions = 0
+        self.global_builds = 0
+        self.global_attaches = 0
+        self._globals: dict[int, np.ndarray] = {}
 
     # -- lookup ----------------------------------------------------------
 
@@ -214,7 +260,7 @@ class ScheduleStore:
         if attached is not None:
             return attached
 
-        schedule = build_plain(key[0], n, algorithm, seed)
+        schedule = self._build_for_store(key[0], n, algorithm, seed)
         if schedule.period > STORE_PERIOD_LIMIT:
             self.bypasses += 1
             return schedule
@@ -243,6 +289,52 @@ class ScheduleStore:
             key_digest(store_key(channels, n, algorithm, seed))
         ).exists()
 
+    def global_sequence(self, n: int) -> np.ndarray:
+        """The global DRDS channel sequence for universe ``n``, shared.
+
+        The sequence spans ``45 n^2 + 8n`` slots and is *independent of
+        any channel set*, so it is materialized into the store exactly
+        once per universe size (as an entry under
+        :data:`GLOBAL_SEQUENCE_ALGORITHM`) and attached read-only by
+        every later caller — same store, another runner, another
+        process.  The per-set ``drds`` tables built through ``get``
+        project this shared memmap instead of rebuilding the sequence.
+
+        Counted in ``global_builds`` / ``global_attaches``, separate
+        from the per-set ``builds`` / ``attaches`` so sweeps' "built
+        exactly once per distinct key" assertions keep their meaning.
+        A sequence that cannot be stored (period or capacity limits)
+        is built in-process; the per-set miss that needed it records
+        the ``bypasses`` count, so one unstored schedule is one bypass.
+        """
+        cached = self._globals.get(n)
+        if cached is not None:
+            return cached
+        key = store_key((), n, GLOBAL_SEQUENCE_ALGORITHM)
+        digest = key_digest(key)
+        path = self._table_path(digest)
+        attached = self._attach_array(path)
+        if attached is not None:
+            self.global_attaches += 1
+            self._globals[n] = attached
+            return attached
+        from repro.baselines.drds import build_global_sequence
+
+        sequence = np.ascontiguousarray(build_global_sequence(n), dtype=np.int64)
+        if sequence.size > STORE_PERIOD_LIMIT or not self._ensure_capacity(
+            sequence.nbytes
+        ):
+            # Not counted in `bypasses`: the per-set miss that needed
+            # this sequence is the one bypass event (its table is
+            # necessarily unstorable for the same reason).
+            self._globals[n] = sequence
+            return sequence
+        self._write(digest, key, sequence)
+        self.global_builds += 1
+        attached = self._attach_array(path)
+        self._globals[n] = sequence if attached is None else attached
+        return self._globals[n]
+
     # -- inspection ------------------------------------------------------
 
     def entries(self) -> list[dict]:
@@ -268,13 +360,19 @@ class ScheduleStore:
         return sum(m["nbytes"] for m in self.entries())
 
     def stats(self) -> dict[str, int]:
-        """Counter snapshot: builds, attaches, bypasses, evictions, entries, bytes."""
+        """Counter snapshot: builds, attaches, bypasses, evictions, entries, bytes.
+
+        ``global_builds`` / ``global_attaches`` track the shared global
+        DRDS sequence separately from the per-set table counters.
+        """
         entries = self.entries()
         return {
             "builds": self.builds,
             "attaches": self.attaches,
             "bypasses": self.bypasses,
             "evictions": self.evictions,
+            "global_builds": self.global_builds,
+            "global_attaches": self.global_attaches,
             "entries": len(entries),
             "total_bytes": sum(m["nbytes"] for m in entries),
         }
@@ -303,18 +401,43 @@ class ScheduleStore:
 
     # -- internals -------------------------------------------------------
 
-    def _try_attach(
-        self, path: Path, channels: frozenset[int], count: bool = True
-    ) -> StoredSchedule | None:
-        """Attach ``path`` read-only, or None if it is (or just became)
-        absent — a concurrent eviction between the existence check and
-        the open must fall through to the build path, not raise."""
+    def _build_for_store(
+        self, channels: frozenset[int], n: int, algorithm: str, seed: int
+    ) -> Schedule:
+        """The store's miss path: build one schedule for materialization.
+
+        ``drds`` schedules are built over the store's shared global
+        sequence (see :meth:`global_sequence`) so the expensive
+        ``45 n^2 + 8n``-slot construction happens once per universe
+        size, not once per channel set; everything else defers to
+        :func:`build_plain`.
+        """
+        if algorithm == "drds":
+            from repro.baselines.drds import DRDSSchedule
+
+            return DRDSSchedule(channels, n, global_sequence=self.global_sequence(n))
+        return build_plain(channels, n, algorithm, seed)
+
+    def _attach_array(self, path: Path) -> np.ndarray | None:
+        """mmap one stored table read-only, or None if it is (or just
+        became) absent — a concurrent eviction between the existence
+        check and the open must fall through to the build path, not
+        raise."""
         if not path.exists():
             return None
         try:
             table = np.load(path, mmap_mode="r")
             os.utime(path)  # refresh LRU position
         except OSError:
+            return None
+        return table
+
+    def _try_attach(
+        self, path: Path, channels: frozenset[int], count: bool = True
+    ) -> StoredSchedule | None:
+        """Attach one per-set table as a schedule view; None if absent."""
+        table = self._attach_array(path)
+        if table is None:
             return None
         if count:
             self.attaches += 1

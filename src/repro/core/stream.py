@@ -1,0 +1,237 @@
+"""Streaming tiled-sweep verification engine for huge-period schedules.
+
+The batched engine (:mod:`repro.core.batch`) materializes both
+schedules' full period tables and gathers every coincidence block from
+window views of them — which caps it at ``BATCH_TABLE_LIMIT`` slots of
+period.  Jump-Stay's cubic global period crosses that limit from
+``n = 128`` on, and the long-period available-set baselines (ZOS at
+large ``m``) cross it well below their guarantee bounds, so the only
+honest fallback used to be the scalar per-shift loop — hours instead of
+seconds on Table-1-scale sweeps.
+
+This module removes the table from the loop.  The coincidence
+computation walks fixed-byte ``(shift-block, time-block)`` **tiles**:
+
+* each tile's channel rows are generated *on demand* through
+  :meth:`~repro.core.schedule.Schedule.channel_block`, the chunk API
+  every baseline implements (vectorized closed forms for the global
+  sequences; memmap slices for store-attached tables; a generic
+  modular-index fallback otherwise) — no full period is ever held;
+* every shift is first reduced to its phase-offset pair exactly as in
+  the batched engine (``s >= 0`` acts through ``s mod period_A``,
+  ``s < 0`` through ``-s mod period_B``), and duplicate offsets are
+  deduplicated before any work happens;
+* tiles carry per-shift *first-meet* state: a shift row that has
+  already rendezvoused retires and never costs another cell, and time
+  blocks grow geometrically as rows drop out (most shifts meet early);
+* within a tile, offsets are processed in sorted order; when a block's
+  offsets are close together one contiguous ``channel_block`` chunk is
+  gathered into rows via a strided window view, otherwise each row is
+  generated independently — both paths stay inside the ``tile_bytes``
+  budget;
+* the scan stops at ``lcm(period_A, period_B)`` slots even when the
+  caller's horizon is larger, the same early-stop the batched engine
+  applies: the joint pattern is periodic, so a silent joint period
+  means no rendezvous ever.
+
+Results are bit-identical to the batched and scalar engines —
+``tests/core/test_stream.py`` certifies three-way parity across every
+workload generator and tile-size choice.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro.core.schedule import Schedule
+
+__all__ = ["ttr_sweep_stream", "reduce_shifts", "scatter_ttrs", "DEFAULT_TILE_BYTES"]
+
+#: Default byte budget for one (shift, time) tile.  4 MiB keeps tiles
+#: inside typical L2/L3 while leaving room for the generated chunks.
+DEFAULT_TILE_BYTES = 1 << 22
+
+_INITIAL_TIME_BLOCK = 256
+_BYTES_PER_CELL = 8  # int64 channel ids
+
+
+def ttr_sweep_stream(
+    a: Schedule | np.ndarray,
+    b: Schedule | np.ndarray,
+    shifts: Iterable[int],
+    horizon: int,
+    tile_bytes: int = DEFAULT_TILE_BYTES,
+) -> dict[int, int | None]:
+    """TTR for every relative shift, streamed in fixed-byte tiles.
+
+    Semantics are identical to :func:`repro.core.batch.ttr_sweep` (and
+    therefore to a per-shift loop over
+    :func:`repro.core.verification.ttr_for_shift`): the result maps
+    each shift to the first slot, counted from the later wake-up, where
+    the schedules coincide — ``None`` when no coincidence occurs within
+    ``horizon`` slots.  Unlike the batched engine it never materializes
+    a full period table, so it works at any period size.
+
+    ``tile_bytes`` bounds the bytes of one ``(shift, time)`` tile and
+    thereby peak memory; results are invariant under the choice (tiles
+    smaller than one period included).  Either side may be a raw 1-D
+    period array (e.g. a read-only memmap attached from a
+    :class:`~repro.core.store.ScheduleStore`) — tiles are then sliced
+    straight off the array, which for a memmap means straight off disk.
+    """
+    if tile_bytes <= 0:
+        raise ValueError(f"tile_bytes must be positive, got {tile_bytes}")
+    a = _coerce_schedule(a)
+    b = _coerce_schedule(b)
+    shift_list = [int(s) for s in shifts]
+    if not shift_list:
+        return {}
+    if horizon <= 0:
+        return {s: None for s in shift_list}
+
+    unique_pairs, inverse = reduce_shifts(a, b, shift_list)
+    effective = min(horizon, math.lcm(a.period, b.period))
+    # Each shift pins one side's offset to zero, so the sign groups are
+    # profiled separately with the zero side as the broadcast row.
+    ttrs = np.empty(len(unique_pairs), dtype=np.int64)
+    negative = unique_pairs[:, 1] != 0
+    if (~negative).any():
+        ttrs[~negative] = _stream_offsets(
+            a, b, unique_pairs[~negative, 0], effective, tile_bytes
+        )
+    if negative.any():
+        ttrs[negative] = _stream_offsets(
+            b, a, unique_pairs[negative, 1], effective, tile_bytes
+        )
+    return scatter_ttrs(shift_list, ttrs, inverse)
+
+
+def reduce_shifts(
+    a: Schedule, b: Schedule, shift_list: list[int]
+) -> tuple[np.ndarray, np.ndarray]:
+    """Collapse shifts to their distinct phase-offset pairs.
+
+    A shift only enters the coincidence comparison through the offset
+    pair ``(s mod period_A, 0)`` (``s >= 0``) or ``(0, -s mod
+    period_B)`` (``s < 0``), so the distinct pairs are the real work
+    items.  Returns ``(unique_pairs, inverse)`` with ``inverse``
+    mapping each input shift to its row in ``unique_pairs``.  This is
+    the *one* reduction both sweep engines share — bit-identical
+    results across engines depend on it staying single-sourced.
+    """
+    arr = np.asarray(shift_list, dtype=np.int64)
+    off_a = np.where(arr >= 0, arr, 0) % a.period
+    off_b = np.where(arr < 0, -arr, 0) % b.period
+    pairs = np.stack([off_a, off_b], axis=1)
+    unique_pairs, inverse = np.unique(pairs, axis=0, return_inverse=True)
+    return unique_pairs, inverse.reshape(-1)  # numpy 2.0.x: (n, 1)-shaped
+
+
+def scatter_ttrs(
+    shift_list: list[int], ttrs: np.ndarray, inverse: np.ndarray
+) -> dict[int, int | None]:
+    """Scatter per-offset-pair TTRs back to the caller's shifts.
+
+    The inverse of :func:`reduce_shifts`: ``ttrs[i]`` is the answer for
+    ``unique_pairs[i]`` with ``-1`` marking a miss, and the result maps
+    every input shift to its ``int`` TTR or ``None``.
+    """
+    scattered = ttrs[inverse]
+    return {
+        s: None if t < 0 else int(t)
+        for s, t in zip(shift_list, scattered.tolist())
+    }
+
+
+def _coerce_schedule(x: Schedule | np.ndarray) -> Schedule:
+    """Shared raw-array adapter (see :func:`repro.core.store.coerce_schedule`)."""
+    from repro.core.store import coerce_schedule
+
+    return coerce_schedule(x)
+
+
+def _gather_rows(
+    schedule: Schedule, offsets: np.ndarray, t0: int, width: int
+) -> np.ndarray:
+    """Rows ``schedule[(off + t0) .. (off + t0 + width))`` per offset.
+
+    ``offsets`` must be sorted ascending.  When the block's offsets are
+    close together (span no larger than the rows matrix itself), one
+    contiguous chunk is generated and the rows are strided window views
+    of it; sparse blocks generate each row independently so the chunk
+    never outgrows the tile budget.
+    """
+    base = int(offsets[0])
+    span = int(offsets[-1]) - base + width
+    if span <= offsets.size * width:
+        chunk = np.asarray(schedule.channel_block(base + t0, base + t0 + span))
+        return sliding_window_view(chunk, width)[offsets - base]
+    return np.stack(
+        [
+            np.asarray(schedule.channel_block(int(off) + t0, int(off) + t0 + width))
+            for off in offsets
+        ]
+    )
+
+
+def _stream_offsets(
+    var: Schedule,
+    fixed: Schedule,
+    offsets: np.ndarray,
+    horizon: int,
+    tile_bytes: int,
+) -> np.ndarray:
+    """First-coincidence slot per offset against the zero-offset side.
+
+    ``var`` is the schedule whose phase varies per shift (windows start
+    at ``offset``), ``fixed`` the one pinned at phase zero; ``-1``
+    marks a miss within ``horizon``.
+    """
+    num = offsets.size
+    result = np.full(num, -1, dtype=np.int64)
+    cells = max(1, tile_bytes // _BYTES_PER_CELL)
+    shift_block = max(1, cells // _INITIAL_TIME_BLOCK)
+    order = np.argsort(offsets, kind="stable")
+    # Every shift block walks the same early time windows before its
+    # retirement schedule diverges, so the fixed side's rows are
+    # memoized per (t0, t1) — bounded by the tile budget so late, rare,
+    # per-block-unique windows don't accumulate.
+    fixed_rows: dict[tuple[int, int], np.ndarray] = {}
+    fixed_cached_cells = 0
+
+    def fixed_row(t0: int, t1: int) -> np.ndarray:
+        nonlocal fixed_cached_cells
+        row = fixed_rows.get((t0, t1))
+        if row is None:
+            row = np.asarray(fixed.channel_block(t0, t1))
+            if fixed_cached_cells + row.size <= cells:
+                fixed_rows[(t0, t1)] = row
+                fixed_cached_cells += row.size
+        return row
+
+    for lo in range(0, num, shift_block):
+        # Indices into `offsets`, ascending by offset so each tile's
+        # rows gather from one near-contiguous chunk when possible.
+        remaining = order[lo : lo + shift_block]
+        t0 = 0
+        length = min(
+            _INITIAL_TIME_BLOCK, horizon, max(1, cells // remaining.size)
+        )
+        while t0 < horizon and remaining.size:
+            t1 = min(t0 + length, horizon)
+            width = t1 - t0
+            rows = _gather_rows(var, offsets[remaining], t0, width)
+            eq = rows == fixed_row(t0, t1)[np.newaxis, :]
+            hit = eq.any(axis=1)
+            if hit.any():
+                result[remaining[hit]] = t0 + eq[hit].argmax(axis=1)
+                remaining = remaining[~hit]
+            t0 = t1
+            # Survivors are the slow rows: widen the window so the scan
+            # finishes in O(log horizon) passes within the budget.
+            length = min(length * 2, max(1, cells // max(remaining.size, 1)))
+    return result

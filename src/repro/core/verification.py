@@ -91,9 +91,18 @@ def ttr_profile(
     b: Schedule,
     shifts: Iterable[int],
     horizon: int,
+    engine: str = "auto",
+    tile_bytes: int | None = None,
 ) -> dict[int, int | None]:
-    """TTR for each relative shift; ``None`` marks a miss within horizon."""
-    return batch.ttr_sweep(a, b, shifts, horizon)
+    """TTR for each relative shift; ``None`` marks a miss within horizon.
+
+    ``engine`` / ``tile_bytes`` select and tune the sweep engine (see
+    :func:`repro.core.batch.ttr_sweep`); the default dispatches on
+    period size and all engines are bit-identical.
+    """
+    return batch.ttr_sweep(
+        a, b, shifts, horizon, engine=engine, tile_bytes=tile_bytes
+    )
 
 
 def exhaustive_shift_range(a: Schedule, b: Schedule) -> range:
@@ -130,15 +139,20 @@ def max_ttr(
     b: Schedule,
     shifts: Iterable[int],
     horizon: int,
+    engine: str = "auto",
+    tile_bytes: int | None = None,
 ) -> int:
     """Maximum TTR over the given shifts.
 
     Raises ``AssertionError`` if any shift misses within the horizon —
     callers that expect guaranteed rendezvous should size the horizon
-    above the theoretical bound.
+    above the theoretical bound.  ``engine`` / ``tile_bytes`` pass
+    through to :func:`repro.core.batch.ttr_sweep`.
     """
     worst = -1
-    for shift, ttr in ttr_profile(a, b, shifts, horizon).items():
+    for shift, ttr in ttr_profile(
+        a, b, shifts, horizon, engine=engine, tile_bytes=tile_bytes
+    ).items():
         if ttr is None:
             raise AssertionError(
                 f"no rendezvous within horizon {horizon} at shift {shift}"
@@ -152,12 +166,17 @@ def verify_guarantee(
     b: Schedule,
     bound: int,
     shifts: Iterable[int] | None = None,
+    engine: str = "auto",
+    tile_bytes: int | None = None,
 ) -> tuple[bool, int, int | None]:
     """Check that every tested shift rendezvouses within ``bound`` slots.
 
     Returns ``(ok, worst_ttr, failing_shift)``.  With ``shifts=None`` the
     exhaustive shift range is used (exact certification for cyclic
-    schedules).
+    schedules).  ``engine`` / ``tile_bytes`` pass through to
+    :func:`repro.core.batch.ttr_sweep` — with the streaming engine this
+    certification works even on schedules whose period is too large to
+    table.
     """
     if shifts is None:
         shifts = exhaustive_shift_range(a, b)
@@ -167,7 +186,9 @@ def verify_guarantee(
         pending = [s for _, s in zip(range(4096), shift_iter)]
         if not pending:
             return True, worst, None
-        profile = batch.ttr_sweep(a, b, pending, bound + 1)
+        profile = batch.ttr_sweep(
+            a, b, pending, bound + 1, engine=engine, tile_bytes=tile_bytes
+        )
         for shift in pending:
             ttr = profile[shift]
             if ttr is None or ttr > bound:

@@ -48,7 +48,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro.core.batch import ttr_sweep
+from repro.core.batch import ENGINES, ttr_sweep
 from repro.core.schedule import Schedule
 from repro.core.store import ScheduleStore, build_plain, store_key
 from repro.sim.metrics import TTRStats, summarize_ttrs
@@ -133,6 +133,14 @@ class SweepRunner:
     fanning out, so worker processes never build at all; the store's
     ``builds``/``attaches`` counters certify it.
 
+    **Engine contract.** ``engine`` / ``tile_bytes`` pass straight
+    through to :func:`repro.core.batch.ttr_sweep` for every pair the
+    runner measures (workers included): ``"auto"`` dispatches per pair
+    on period size — batched tables up to the limit, the streaming
+    tiled engine beyond it — so huge-period baselines (Jump-Stay at
+    ``n >= 128``) sweep transparently; forcing ``"stream"`` or
+    ``"batched"`` pins the path, and every engine is bit-identical.
+
     **Process-pool contract.** ``measure_instance`` stays serial below
     ``MIN_PARALLEL_PAIRS`` pairs or when ``workers <= 1`` — there the
     shared cache and warm numpy buffers beat process startup.  Larger
@@ -149,11 +157,17 @@ class SweepRunner:
         self,
         workers: int | None = None,
         store: ScheduleStore | str | os.PathLike | None = None,
+        engine: str = "auto",
+        tile_bytes: int | None = None,
     ):
         self.workers = os.cpu_count() or 1 if workers is None else max(1, workers)
         if store is not None and not isinstance(store, ScheduleStore):
             store = ScheduleStore(store)
         self.store = store
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+        self.engine = engine
+        self.tile_bytes = tile_bytes
         self._schedules: dict[
             tuple[frozenset[int], int, str, int], Schedule
         ] = {}
@@ -249,7 +263,9 @@ class SweepRunner:
         plan = shift_plan(a, b, dense=dense, probes=probes, seed=seed)
         if not plan:
             raise ValueError("empty shift plan: need dense > 0 or probes > 0")
-        profile = ttr_sweep(a, b, plan, horizon)
+        profile = ttr_sweep(
+            a, b, plan, horizon, engine=self.engine, tile_bytes=self.tile_bytes
+        )
         for shift in plan:
             if profile[shift] is None:
                 raise AssertionError(
@@ -293,7 +309,10 @@ class SweepRunner:
                 self.prewarm(instance, algorithm, pairs, seed=seed)
                 store_handle = (str(self.store.store_dir), self.store.memory_cap)
             payloads = [
-                (instance, algorithm, pair, horizon, dense, probes, seed, store_handle)
+                (
+                    instance, algorithm, pair, horizon, dense, probes, seed,
+                    store_handle, self.engine, self.tile_bytes,
+                )
                 for pair in pairs
             ]
             chunk = max(1, len(payloads) // (self.workers * 4))
@@ -308,22 +327,28 @@ class SweepRunner:
         ]
 
 
-# One runner per (worker process, store handle), so the schedule
-# cache — and the store attachment — survives across the tasks that
-# land on that worker.
-_WORKER_RUNNERS: dict[tuple[str, int] | None, SweepRunner] = {}
+# One runner per (worker process, store handle, engine config), so the
+# schedule cache — and the store attachment — survives across the tasks
+# that land on that worker.
+_WORKER_RUNNERS: dict[tuple, SweepRunner] = {}
 
 
 def _measure_pair_task(payload: tuple) -> MeasuredPair:
-    instance, algorithm, pair, horizon, dense, probes, seed, store_handle = payload
-    runner = _WORKER_RUNNERS.get(store_handle)
+    (
+        instance, algorithm, pair, horizon, dense, probes, seed,
+        store_handle, engine, tile_bytes,
+    ) = payload
+    runner_key = (store_handle, engine, tile_bytes)
+    runner = _WORKER_RUNNERS.get(runner_key)
     if runner is None:
         store = None
         if store_handle is not None:
             store_dir, memory_cap = store_handle
             store = ScheduleStore(store_dir, memory_cap=memory_cap)
-        runner = SweepRunner(workers=1, store=store)
-        _WORKER_RUNNERS[store_handle] = runner
+        runner = SweepRunner(
+            workers=1, store=store, engine=engine, tile_bytes=tile_bytes
+        )
+        _WORKER_RUNNERS[runner_key] = runner
     return runner.measure_pair(
         instance, algorithm, pair, horizon, dense=dense, probes=probes, seed=seed
     )

@@ -10,6 +10,7 @@ from repro.baselines import (
     DETERMINISTIC_BASELINES,
     build_baseline,
 )
+from repro.baselines.asyncetch import AsyncETCHSchedule
 from repro.baselines.crseq import CRSEQSchedule
 from repro.baselines.drds import DRDSSchedule
 from repro.baselines.jump_stay import JumpStaySchedule
@@ -22,7 +23,7 @@ from repro.core.symmetric import SymmetricWrappedSchedule
 class TestRegistry:
     def test_names(self):
         assert set(BASELINE_NAMES) == {
-            "crseq", "jump-stay", "drds", "zos", "random",
+            "crseq", "jump-stay", "drds", "zos", "async-etch", "random",
         }
 
     def test_deterministic_subset(self):
@@ -35,6 +36,7 @@ class TestRegistry:
             ("jump-stay", JumpStaySchedule),
             ("drds", DRDSSchedule),
             ("zos", ZOSSchedule),
+            ("async-etch", AsyncETCHSchedule),
             ("random", RandomSchedule),
         ],
     )

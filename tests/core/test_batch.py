@@ -120,10 +120,11 @@ def test_zero_horizon_is_all_misses():
     assert batch.ttr_sweep(a, b, [0, 3], 0) == {0: None, 3: None}
 
 
-def test_huge_period_fallback_uses_scalar_path():
+def test_huge_period_fallback_matches_scalar():
     """Periods past BATCH_TABLE_LIMIT skip table materialization entirely
-    (building the table would dwarf the sweep) and defer to the scalar
-    engine, which only evaluates the slots it scans."""
+    (building the table would dwarf the sweep) and dispatch to the
+    streaming tiled engine, which only evaluates the slots it scans —
+    bit-identical to the scalar reference."""
     period = batch.BATCH_TABLE_LIMIT + 1
     a = FunctionSchedule(lambda t: t % 3, period, channels=frozenset({0, 1, 2}))
     b = CyclicSchedule([2, 0])

@@ -1,0 +1,179 @@
+"""Parity tests: the streaming tiled engine vs batched vs scalar.
+
+The streaming engine's contract is bit-identical profiles at any
+period size and any tile budget: for every workload the library ships,
+``ttr_sweep_stream`` must return exactly what the batched engine and a
+per-shift loop over ``ttr_for_shift`` return — including ``None``
+misses, negative shifts, duplicate shifts, degenerate horizons, and
+tiles smaller than one period.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core import batch
+from repro.core.schedule import CyclicSchedule, FunctionSchedule
+from repro.core.stream import ttr_sweep_stream
+from repro.core.verification import (
+    exhaustive_shift_range,
+    ttr_for_shift,
+    verify_guarantee,
+)
+from repro.sim.workloads import (
+    coalition_bands,
+    nested,
+    random_subsets,
+    single_overlap,
+    symmetric,
+    whitespace,
+)
+
+WORKLOADS = {
+    "random_subsets": lambda: random_subsets(16, 4, 3, seed=1),
+    "single_overlap": lambda: single_overlap(16, 3, 3, seed=2),
+    "symmetric": lambda: symmetric(16, 3, 2, seed=3),
+    "coalition_bands": lambda: coalition_bands(
+        32, band_width=6, agents_per_band=2, num_bands=2, overlap=2, seed=4
+    ),
+    "whitespace": lambda: whitespace(16, 3, incumbent_load=0.6, seed=5),
+    "nested": lambda: nested(16, [2, 4], seed=6),
+}
+
+SHIFTS = list(range(-40, 120)) + [997, 12_345, -733]
+
+
+def _scalar(a, b, shifts, horizon):
+    return {s: ttr_for_shift(a, b, s, horizon) for s in shifts}
+
+
+@pytest.mark.parametrize("kind", sorted(WORKLOADS))
+@pytest.mark.parametrize("algorithm", ["paper", "crseq", "jump-stay", "zos"])
+def test_three_way_parity_across_workloads(kind, algorithm):
+    """Stream == batched == scalar on every workload generator, at
+    period sizes where all three engines can run."""
+    instance = WORKLOADS[kind]()
+    pairs = instance.overlapping_pairs()[:2]
+    assert pairs, f"workload {kind} produced no overlapping pairs"
+    for i, j in pairs:
+        a = repro.build_schedule(instance.sets[i], instance.n, algorithm=algorithm)
+        b = repro.build_schedule(instance.sets[j], instance.n, algorithm=algorithm)
+        horizon = 4 * max(a.period, b.period)
+        streamed = ttr_sweep_stream(a, b, SHIFTS, horizon)
+        assert streamed == batch.ttr_sweep(a, b, SHIFTS, horizon, engine="batched")
+        assert streamed == _scalar(a, b, SHIFTS, horizon)
+
+
+@pytest.mark.parametrize("tile_bytes", [64, 512, 4096, 1 << 20])
+def test_tile_boundaries_are_invisible(tile_bytes):
+    """Property: results are invariant under the tile budget — including
+    tiles far smaller than one period (a paper schedule at n=32 has a
+    period of thousands of slots; 64 bytes is an 8-slot tile)."""
+    instance = single_overlap(32, 3, 4, seed=7)
+    a = repro.build_schedule(instance.sets[0], 32)
+    b = repro.build_schedule(instance.sets[1], 32)
+    shifts = list(range(-50, 400))
+    reference = batch.ttr_sweep(a, b, shifts, 20_000, engine="batched")
+    assert ttr_sweep_stream(a, b, shifts, 20_000, tile_bytes=tile_bytes) == reference
+
+
+def test_tile_budget_validation():
+    a, b = CyclicSchedule([1, 2]), CyclicSchedule([2, 3])
+    with pytest.raises(ValueError, match="tile_bytes"):
+        ttr_sweep_stream(a, b, [0], 10, tile_bytes=0)
+
+
+def test_parity_exhaustive_range():
+    a = CyclicSchedule([1, 2, 3, 4])
+    b = CyclicSchedule([9, 9, 2, 9, 9, 1])
+    shifts = list(exhaustive_shift_range(a, b))
+    assert ttr_sweep_stream(a, b, shifts, 500) == _scalar(a, b, shifts, 500)
+
+
+def test_disjoint_schedules_all_miss_with_lcm_early_stop():
+    """A huge horizon must cost only lcm slots of scanning and yield the
+    same ``None``s as the scalar engine."""
+    a, b = CyclicSchedule([1, 2] * 40), CyclicSchedule([3, 4, 5] * 30)
+    shifts = list(range(-12, 25))
+    assert ttr_sweep_stream(a, b, shifts, 10**9) == {s: None for s in shifts}
+
+
+def test_duplicate_empty_and_zero_horizon():
+    a, b = CyclicSchedule([1, 2, 3] * 30), CyclicSchedule([3, 1] * 30)
+    assert ttr_sweep_stream(a, b, [], 100) == {}
+    assert ttr_sweep_stream(a, b, [0, 3], 0) == {0: None, 3: None}
+    dup = ttr_sweep_stream(a, b, [4, 4, -4, 4], 100)
+    assert dup == _scalar(a, b, [4, -4], 100)
+
+
+def test_huge_period_streams_without_table():
+    """Past BATCH_TABLE_LIMIT the auto dispatcher hands off to the
+    streaming engine, which generates tiles through channel_block and
+    never materializes a period table."""
+    period = batch.BATCH_TABLE_LIMIT + 3
+    a = FunctionSchedule(lambda t: t % 5, period, channels=frozenset(range(5)))
+    b = CyclicSchedule([4, 2])
+    shifts = [0, 1, 5, -3, 9999]
+    expected = _scalar(a, b, shifts, 60)
+    assert ttr_sweep_stream(a, b, shifts, 60) == expected
+    assert batch.ttr_sweep(a, b, shifts, 60) == expected  # auto → stream
+
+
+def test_forced_batched_engine_rejects_huge_periods():
+    period = batch.BATCH_TABLE_LIMIT + 3
+    a = FunctionSchedule(lambda t: t % 5, period, channels=frozenset(range(5)))
+    b = CyclicSchedule([4, 2])
+    with pytest.raises(ValueError, match="engine='batched'"):
+        batch.ttr_sweep(a, b, [0], 60, engine="batched")
+
+
+def test_unknown_engine_rejected():
+    a, b = CyclicSchedule([1]), CyclicSchedule([1])
+    with pytest.raises(ValueError, match="unknown engine"):
+        batch.ttr_sweep(a, b, [0], 10, engine="quantum")
+
+
+def test_raw_arrays_and_memmaps_stream_off_the_table(tmp_path):
+    """Raw period arrays — including read-only store memmaps — feed the
+    streaming tiles directly, bit-identical to schedule objects."""
+    from repro.core.store import ScheduleStore
+
+    store = ScheduleStore(tmp_path)
+    a = store.get([1, 5, 9], 16, "drds")
+    b = store.get([5, 12], 16, "drds")
+    shifts = list(range(-40, 40))
+    expected = batch.ttr_sweep(a, b, shifts, 50_000, engine="batched")
+    assert ttr_sweep_stream(a, b, shifts, 50_000) == expected
+    table_a, table_b = a.period_table(), b.period_table()
+    assert isinstance(table_a, np.memmap)
+    assert ttr_sweep_stream(table_a, table_b, shifts, 50_000) == expected
+
+
+def test_sparse_offsets_use_per_row_generation():
+    """Widely strided shifts (offsets scattered over the period) take
+    the per-row path; results must not depend on it."""
+    instance = single_overlap(32, 3, 4, seed=9)
+    a = repro.build_schedule(instance.sets[0], 32, algorithm="crseq")
+    b = repro.build_schedule(instance.sets[1], 32, algorithm="crseq")
+    stride = max(1, a.period // 7)
+    shifts = list(range(0, a.period, stride)) + [-1, -stride]
+    horizon = 4 * a.period
+    assert ttr_sweep_stream(a, b, shifts, horizon, tile_bytes=256) == _scalar(
+        a, b, shifts, horizon
+    )
+
+
+def test_verify_guarantee_through_stream_engine():
+    """Exhaustive certification runs unchanged when forced through the
+    streaming engine."""
+    a = repro.build_schedule([1, 5], 16, algorithm="zos")
+    b = repro.build_schedule([5, 9], 16, algorithm="zos")
+    import math
+
+    bound = math.lcm(a.period, b.period)
+    batched = verify_guarantee(a, b, bound)
+    streamed = verify_guarantee(a, b, bound, engine="stream", tile_bytes=4096)
+    assert batched == streamed
+    assert streamed[0]

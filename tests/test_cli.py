@@ -143,6 +143,52 @@ class TestSweepCommand:
         assert code == 1
         assert "empty shift plan" in out
 
+    def test_sweep_forced_stream_engine_matches_auto(self, capsys):
+        args = [
+            "sweep", "--agents", "1,5/5,9/1,9", "--universe", "16",
+            "--dense", "4", "--probes", "4",
+        ]
+        assert main(args) == 0
+        auto_out = capsys.readouterr().out
+        assert main(args + ["--engine", "stream", "--tile-bytes", "4096"]) == 0
+        stream_out = capsys.readouterr().out
+        assert "engine:    stream" in stream_out
+        # Identical measurements, modulo the engine banner line.
+        strip = lambda text: [
+            line for line in text.splitlines() if not line.startswith("engine:")
+        ]
+        assert strip(auto_out) == strip(stream_out)
+
+    def test_sweep_engine_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["sweep", "--agents", "1,2/2,3", "--universe", "8",
+                 "--engine", "quantum"]
+            )
+
+    def test_sweep_store_cap_requires_store_dir(self, capsys):
+        code = main(
+            ["sweep", "--agents", "1,2/2,3", "--universe", "8",
+             "--store-cap", "1000"]
+        )
+        assert code == 2
+        assert "--store-cap requires --store-dir" in capsys.readouterr().out
+
+    def test_sweep_store_cap_is_honored(self, capsys, tmp_path):
+        store_dir = str(tmp_path / "store")
+        code = main(
+            ["sweep", "--agents", "1,5/5,9/1,9", "--universe", "16",
+             "--algorithm", "crseq", "--dense", "4", "--probes", "4",
+             "--store-dir", store_dir, "--store-cap", "7000"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        # crseq tables at n=16 are ~7 KiB each: under a 7000-byte cap at
+        # most one survives on disk at a time.
+        from repro.core.store import ScheduleStore
+
+        assert ScheduleStore(store_dir).total_bytes() <= 7000
+
     def test_sweep_reports_miss(self, capsys):
         # The dense prefix alternates 0, -1, 1, ...; dense=130 reaches
         # shift -64, which cannot meet within a one-slot horizon, so the

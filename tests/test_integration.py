@@ -38,6 +38,7 @@ class TestFullDiscoveryAcrossAlgorithms:
             "jump-stay": 500_000,
             "drds": 100_000,
             "zos": 100_000,
+            "async-etch": 100_000,
             "random": 100_000,
         }[algorithm]
         agents = [
