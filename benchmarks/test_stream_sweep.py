@@ -1,9 +1,9 @@
-"""The streaming tiled engine vs the scalar loop, measured on Jump-Stay.
+"""The streaming engine measured: vs the scalar loop, and intra-pair parallel vs serial.
 
 The acceptance bench for ``repro.core.stream``: Jump-Stay is the
 baseline whose cubic global period made huge-universe sweeps
 unmeasurable — past ``BATCH_TABLE_LIMIT`` the only correct path used to
-be the scalar per-shift loop.  Two measurements are recorded to
+be the scalar per-shift loop.  Three measurements are recorded to
 ``results/stream_sweep.txt`` / ``results/BENCH_stream_sweep.json``:
 
 * **both-engines regime** (``n = 64``, period 888,822 slots — under the
@@ -11,12 +11,19 @@ be the scalar per-shift loop.  Two measurements are recorded to
   bit-identical over the full strided shift set, and the streaming
   engine is timed against the scalar reference on a shift subset (the
   scalar loop is too slow for the full set — which is the point);
-* **stream-only regime** (``n = 128``, period 6,692,790 slots — past
-  the table limit): the streamed sweep that produces Jump-Stay's
-  measured Table-1 column, timed end to end.
+* **intra-pair parallel regime** (``n = 128`` and ``n = 256`` — past
+  the table limit): one pair's sweep through the serial reference scan
+  (:func:`~repro.core.stream.ttr_sweep_stream_serial`, fixed 4 MiB
+  tiles, per-row gathers) against the blocked parallel scan
+  (:func:`~repro.core.stream.ttr_sweep_stream`, auto-tuned
+  :class:`~repro.core.stream.TilePlan`, vectorized ``channel_gather``
+  tile assembly, 4 thread lanes).  The speedup on a single core comes
+  from the tuned plan and the one-call tile gather; extra cores scale
+  it further because numpy releases the GIL inside the tile ops.
 
-The gate asserts parity and a wall-clock win for streaming over the
-scalar loop.
+The gate asserts bit-identical profiles everywhere, a wall-clock win
+for streaming over the scalar loop, and a >= 2x intra-pair win for the
+parallel scan over the serial reference at ``n = 128``.
 """
 
 from __future__ import annotations
@@ -27,14 +34,17 @@ from pathlib import Path
 
 import repro
 from repro.core.batch import BATCH_TABLE_LIMIT, ttr_sweep
+from repro.core.stream import plan_tiles, ttr_sweep_stream, ttr_sweep_stream_serial
 from repro.core.verification import strided_shift_range, ttr_for_shift
 from repro.sim.workloads import single_overlap
 
 N_BOTH = 64
-N_STREAM_ONLY = 128
+PARALLEL_NS = (128, 256)
 K = L = 3
 MAX_SHIFTS = 2_000
 SCALAR_SUBSET = 48  # shifts the scalar loop is timed on
+STREAM_WORKERS = 4
+MIN_INTRA_PAIR_SPEEDUP = 2.0  # gate at n = 128
 
 
 def _build(n: int):
@@ -44,8 +54,51 @@ def _build(n: int):
     return a, b
 
 
-def test_stream_vs_scalar(benchmark, record):
-    """Recorded wall-clock comparison + the bit-identical parity gate."""
+def _measure_intra_pair(n: int) -> dict:
+    """One pair at universe ``n``: serial reference vs parallel scan."""
+    a, b = _build(n)
+    assert max(a.period, b.period) > BATCH_TABLE_LIMIT
+    shifts = list(strided_shift_range(a, b, MAX_SHIFTS))
+    horizon = 4 * max(a.period, b.period)
+
+    start = time.perf_counter()
+    serial = ttr_sweep_stream_serial(a, b, shifts, horizon)
+    serial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel_one = ttr_sweep_stream(a, b, shifts, horizon, workers=1)
+    one_lane_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = ttr_sweep_stream(a, b, shifts, horizon, workers=STREAM_WORKERS)
+    parallel_seconds = time.perf_counter() - start
+
+    assert parallel == serial == parallel_one, (
+        "parallel and serial streams must be bit-identical"
+    )
+    assert all(t is not None for t in parallel.values())
+    plan = plan_tiles(len(shifts), horizon, workers=STREAM_WORKERS)
+    return {
+        "n": n,
+        "period": a.period,
+        "shifts": len(shifts),
+        "worst_ttr": int(max(parallel.values())),
+        "serial_seconds": round(serial_seconds, 4),
+        "blocked_1worker_seconds": round(one_lane_seconds, 4),
+        "parallel_seconds": round(parallel_seconds, 4),
+        "workers": STREAM_WORKERS,
+        "tile_plan": {
+            "tile_bytes": plan.tile_bytes,
+            "block_rows": plan.block_rows,
+            "workers": plan.workers,
+        },
+        "intra_pair_speedup": round(serial_seconds / parallel_seconds, 2),
+        "parity_bit_identical": True,
+    }
+
+
+def test_stream_vs_scalar_and_intra_pair_parallel(benchmark, record):
+    """Recorded wall-clock comparisons + the bit-identical parity gates."""
     a, b = _build(N_BOTH)
     assert max(a.period, b.period) <= BATCH_TABLE_LIMIT
     shifts = list(strided_shift_range(a, b, MAX_SHIFTS))
@@ -69,21 +122,10 @@ def test_stream_vs_scalar(benchmark, record):
     stream_subset_seconds = time.perf_counter() - start
     assert stream_subset == scalar
 
-    a_large, b_large = _build(N_STREAM_ONLY)
-    assert max(a_large.period, b_large.period) > BATCH_TABLE_LIMIT
-    shifts_large = list(strided_shift_range(a_large, b_large, MAX_SHIFTS))
-    horizon_large = 4 * max(a_large.period, b_large.period)
+    def intra_pair_rows():
+        return [_measure_intra_pair(n) for n in PARALLEL_NS]
 
-    def stream_large():
-        start = time.perf_counter()
-        profile = ttr_sweep(a_large, b_large, shifts_large, horizon_large)
-        return time.perf_counter() - start, profile
-
-    large_seconds, large_profile = benchmark.pedantic(
-        stream_large, rounds=1, iterations=1
-    )
-    assert all(t is not None for t in large_profile.values())
-    worst_large = max(large_profile.values())
+    intra_pair = benchmark.pedantic(intra_pair_rows, rounds=1, iterations=1)
 
     speedup = scalar_seconds / stream_subset_seconds
     payload = {
@@ -99,16 +141,23 @@ def test_stream_vs_scalar(benchmark, record):
         "scalar_subset_seconds": round(scalar_seconds, 4),
         "stream_subset_seconds": round(stream_subset_seconds, 4),
         "stream_vs_scalar_speedup": round(speedup, 2),
-        "stream_only_n": N_STREAM_ONLY,
-        "stream_only_period": a_large.period,
-        "stream_only_shifts": len(shifts_large),
-        "stream_only_seconds": round(large_seconds, 4),
-        "stream_only_worst_ttr": int(worst_large),
+        "intra_pair": intra_pair,
     }
     results_dir = Path(__file__).parent / "results"
     results_dir.mkdir(exist_ok=True)
     (results_dir / "BENCH_stream_sweep.json").write_text(
         json.dumps(payload, indent=2) + "\n"
+    )
+    intra_lines = "".join(
+        f"  n={row['n']} (period {row['period']}, {row['shifts']} shifts, "
+        f"worst TTR {row['worst_ttr']})\n"
+        f"    serial reference     {row['serial_seconds']:8.3f} s\n"
+        f"    blocked, 1 worker    {row['blocked_1worker_seconds']:8.3f} s\n"
+        f"    blocked, {row['workers']} workers   {row['parallel_seconds']:8.3f} s  "
+        f"({row['intra_pair_speedup']:.1f}x intra-pair, tile "
+        f"{row['tile_plan']['tile_bytes'] >> 10} KiB x "
+        f"{row['tile_plan']['block_rows']} rows)\n"
+        for row in intra_pair
     )
     record(
         "stream_sweep",
@@ -119,14 +168,19 @@ def test_stream_vs_scalar(benchmark, record):
         f"    scalar, {len(subset):4d} shifts  {scalar_seconds:8.3f} s\n"
         f"    stream, {len(subset):4d} shifts  {stream_subset_seconds:8.3f} s  "
         f"({speedup:.1f}x over scalar)\n"
-        f"  n={N_STREAM_ONLY} (period {a_large.period} > table limit "
-        f"{BATCH_TABLE_LIMIT}: stream only)\n"
-        f"    streaming, {len(shifts_large)} shifts  {large_seconds:8.3f} s, "
-        f"worst TTR {worst_large}\n"
-        "the scalar loop was the only correct path past the table limit "
-        "before repro.core.stream",
+        f"{intra_lines}"
+        "serial reference = ttr_sweep_stream_serial (fixed 4 MiB tiles, "
+        "per-row gathers);\nblocked = ttr_sweep_stream (auto-tuned tile "
+        "plan, vectorized channel_gather tiles,\nthread lanes over "
+        "independent shift blocks) — all profiles bit-identical",
     )
     assert speedup > 1.0, (
         f"streaming must beat the scalar loop, got {speedup:.2f}x "
         f"({scalar_seconds:.3f}s vs {stream_subset_seconds:.3f}s)"
+    )
+    gate = intra_pair[0]
+    assert gate["intra_pair_speedup"] >= MIN_INTRA_PAIR_SPEEDUP, (
+        f"parallel stream must win >= {MIN_INTRA_PAIR_SPEEDUP}x over the "
+        f"serial reference at n={gate['n']} with {STREAM_WORKERS} workers, "
+        f"got {gate['intra_pair_speedup']}x"
     )

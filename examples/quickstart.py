@@ -3,7 +3,9 @@
 Builds the paper's Theorem 3 schedules for two agents with different
 channel sets and wake-up times, simulates them, and prints when and where
 they meet — plus the worst case over every small relative shift, compared
-against the analytic bound.
+against the analytic bound, and a first look at the sweep-engine tuning
+knobs (engine selection, tile budget, intra-pair worker lanes) that
+docs/TUNING.md teaches in full.
 
 Run:  python examples/quickstart.py
 """
@@ -12,9 +14,11 @@ from __future__ import annotations
 
 import repro
 from repro.analysis import walk_plot
+from repro.core.batch import ttr_sweep
 from repro.core.epoch import rendezvous_bound
 from repro.core.pairwise import async_pair_string
 from repro.core.ramsey import color_bits, edge_color
+from repro.core.stream import plan_tiles
 from repro.sim import Agent, Network
 
 
@@ -49,6 +53,25 @@ def main() -> None:
     bound = rendezvous_bound(alice, bob)
     worst = repro.max_ttr(alice, bob, range(0, 2000, 7), horizon=bound + 1)
     print(f"worst TTR over sampled shifts: {worst}  (analytic bound {bound})")
+
+    # --- the tuning knobs, in one breath (full guide: docs/TUNING.md) --
+    # engine="auto" dispatches on period size (scalar / batched table /
+    # streaming tiles); every engine and knob setting is bit-identical,
+    # so forcing the streaming engine with explicit lanes and a pinned
+    # tile budget must reproduce the default profile exactly.
+    shifts = list(range(0, 2000, 7))
+    default_profile = ttr_sweep(alice, bob, shifts, bound + 1)
+    streamed = ttr_sweep(
+        alice, bob, shifts, bound + 1,
+        engine="stream", stream_workers=2, tile_bytes=65536,
+    )
+    assert streamed == default_profile, "knobs must never change results"
+    plan = plan_tiles(len(shifts), bound + 1, workers=2)
+    print(
+        f"streamed the same profile through 2 worker lanes "
+        f"(auto plan would be: tile {plan.tile_bytes >> 10} KiB, "
+        f"{plan.block_rows} shifts per block)"
+    )
 
     # --- peek inside Theorem 1 ------------------------------------------
     color = edge_color(17, 58, n)

@@ -9,7 +9,11 @@ store lifecycle end to end:
 1. prewarm: materialize each distinct table exactly once;
 2. sweep: the runner (and all of its workers) attach read-only memmaps;
 3. resweep: a fresh runner starts warm — zero builds anywhere;
-4. inspect and evict.
+4. tune: the same sweep through the streaming engine with explicit
+   intra-pair worker lanes and tile budget — bit-identical results
+   (the runner budgets `workers` across pairs vs within a pair; see
+   docs/TUNING.md);
+5. inspect and evict.
 
 The CLI equivalents:
 
@@ -17,6 +21,9 @@ The CLI equivalents:
         --algorithm drds --store-dir .schedules
     python -m repro sweep --agents ... --universe 128 \\
         --algorithm drds --store-dir .schedules --workers 0
+    python -m repro sweep --agents ... --universe 128 \\
+        --algorithm drds --store-dir .schedules --engine stream \\
+        --stream-workers 2 --tile-bytes auto
     python -m repro store inspect --store-dir .schedules
     python -m repro store evict --store-dir .schedules --all
 
@@ -83,7 +90,30 @@ def main() -> None:
             f"({again.store.builds} builds, {again.store.attaches} attaches)\n"
         )
 
-        # --- 4. inspect and evict -------------------------------------
+        # --- 4. the engine/tile knobs ride the same store -------------
+        # Forcing the streaming engine (tiles gathered straight off the
+        # attached memmaps) with 2 intra-pair lanes and an auto-tuned
+        # tile plan must reproduce the measurements bit-identically —
+        # knobs move wall-clock, never results.  worker_budget shows
+        # how a runner splits its budget across vs within pairs.
+        tuned = SweepRunner(
+            workers=1, store=ScheduleStore(store_dir),
+            engine="stream", stream_workers=2, tile_bytes=None,
+        )
+        retuned = tuned.measure_instance(
+            instance, ALGORITHM, HORIZON, dense=8, probes=8
+        )
+        assert retuned == measured, "engine/tile knobs must not change results"
+        budgeted = SweepRunner(workers=8)
+        pairs = len(instance.overlapping_pairs())
+        print(
+            f"streamed resweep with 2 lanes per pair: identical measurements\n"
+            f"worker budget at {pairs} pairs for SweepRunner(workers=8): "
+            f"{budgeted.worker_budget(pairs)} (processes, lanes) — "
+            f"{budgeted.worker_budget(1)} for a single-pair job\n"
+        )
+
+        # --- 5. inspect and evict -------------------------------------
         rows = [
             [m["digest"], m["algorithm"], m["n"], m["period"],
              f"{m['nbytes'] / (1 << 20):.1f}"]

@@ -62,6 +62,7 @@ __all__ = [
     "AsyncETCHSchedule",
     "asyncetch_global_channel",
     "asyncetch_global_block",
+    "asyncetch_global_values",
     "asyncetch_period",
 ]
 
@@ -86,6 +87,23 @@ def asyncetch_global_channel(t: int, prime: int) -> int:
     return (start + ((offset - 2) % prime) * step) % prime
 
 
+def asyncetch_global_values(t: np.ndarray, prime: int) -> np.ndarray:
+    """Global AsyncETCH channels at an arbitrary array of slot indices.
+
+    The closed form of :func:`asyncetch_global_channel` evaluated
+    elementwise over any index array.  Shared by
+    :func:`asyncetch_global_block` (contiguous windows) and
+    :meth:`AsyncETCHSchedule.channel_gather` (scattered tile rows).
+    """
+    t = np.asarray(t, dtype=np.int64) % asyncetch_period(prime)
+    frame, offset = np.divmod(t, 2 * prime + 2)
+    step = (frame % (prime - 1)) + 1
+    frame_start = (frame // (prime - 1)) % prime
+    orbit = (frame_start + ((offset - 2) % prime) * step) % prime
+    out = np.where(offset == 1, step, orbit)
+    return np.where(offset == 0, 0, out)
+
+
 def asyncetch_global_block(start: int, stop: int, prime: int) -> np.ndarray:
     """Global AsyncETCH channels for slots ``start .. stop-1``, vectorized.
 
@@ -94,13 +112,7 @@ def asyncetch_global_block(start: int, stop: int, prime: int) -> np.ndarray:
     """
     if stop < start:
         raise ValueError(f"empty window: start={start}, stop={stop}")
-    t = np.arange(start, stop, dtype=np.int64) % asyncetch_period(prime)
-    frame, offset = np.divmod(t, 2 * prime + 2)
-    step = (frame % (prime - 1)) + 1
-    frame_start = (frame // (prime - 1)) % prime
-    orbit = (frame_start + ((offset - 2) % prime) * step) % prime
-    out = np.where(offset == 1, step, orbit)
-    return np.where(offset == 0, 0, out)
+    return asyncetch_global_values(np.arange(start, stop, dtype=np.int64), prime)
 
 
 class AsyncETCHSchedule(Schedule):
@@ -130,6 +142,15 @@ class AsyncETCHSchedule(Schedule):
     def channel_block(self, start: int, stop: int) -> np.ndarray:
         """Vectorized window: closed-form global channels, projected."""
         raw = asyncetch_global_block(start, stop, self.prime) % self.n
+        return project_onto_available(raw, self.sorted_channels)
+
+    def channel_gather(self, indices: np.ndarray) -> np.ndarray:
+        """Vectorized scattered access: closed-form channels, projected.
+
+        One closed-form evaluation plus one projection pass for a whole
+        streaming tile of scattered rows.
+        """
+        raw = asyncetch_global_values(indices, self.prime) % self.n
         return project_onto_available(raw, self.sorted_channels)
 
     def _compute_period_array(self) -> np.ndarray:

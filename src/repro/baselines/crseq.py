@@ -30,7 +30,12 @@ from repro.baselines.projection import project_onto_available
 from repro.core.primes import smallest_prime_at_least
 from repro.core.schedule import Schedule
 
-__all__ = ["CRSEQSchedule", "crseq_global_channel", "crseq_global_block"]
+__all__ = [
+    "CRSEQSchedule",
+    "crseq_global_channel",
+    "crseq_global_block",
+    "crseq_global_values",
+]
 
 
 def crseq_global_channel(t: int, prime: int) -> int:
@@ -46,6 +51,20 @@ def crseq_global_channel(t: int, prime: int) -> int:
     return subsequence
 
 
+def crseq_global_values(t: np.ndarray, prime: int) -> np.ndarray:
+    """Global CRSEQ channels at an arbitrary array of slot indices.
+
+    The closed form of :func:`crseq_global_channel` evaluated
+    elementwise over any index array.  Shared by
+    :func:`crseq_global_block` (contiguous windows) and
+    :meth:`CRSEQSchedule.channel_gather` (scattered tile rows).
+    """
+    t = np.asarray(t, dtype=np.int64) % (3 * prime * prime)
+    subsequence, offset = np.divmod(t, 3 * prime)
+    triangular = subsequence * (subsequence + 1) // 2
+    return np.where(offset < 2 * prime, (triangular + offset) % prime, subsequence)
+
+
 def crseq_global_block(start: int, stop: int, prime: int) -> np.ndarray:
     """Global CRSEQ channels for slots ``start .. stop-1``, vectorized.
 
@@ -54,10 +73,7 @@ def crseq_global_block(start: int, stop: int, prime: int) -> np.ndarray:
     """
     if stop < start:
         raise ValueError(f"empty window: start={start}, stop={stop}")
-    t = np.arange(start, stop, dtype=np.int64) % (3 * prime * prime)
-    subsequence, offset = np.divmod(t, 3 * prime)
-    triangular = subsequence * (subsequence + 1) // 2
-    return np.where(offset < 2 * prime, (triangular + offset) % prime, subsequence)
+    return crseq_global_values(np.arange(start, stop, dtype=np.int64), prime)
 
 
 class CRSEQSchedule(Schedule):
@@ -86,6 +102,15 @@ class CRSEQSchedule(Schedule):
     def channel_block(self, start: int, stop: int) -> np.ndarray:
         """Vectorized window: closed-form global channels, projected."""
         raw = crseq_global_block(start, stop, self.prime)
+        return project_onto_available(raw, self.sorted_channels)
+
+    def channel_gather(self, indices: np.ndarray) -> np.ndarray:
+        """Vectorized scattered access: closed-form channels, projected.
+
+        One closed-form evaluation plus one projection pass for a whole
+        streaming tile of scattered rows.
+        """
+        raw = crseq_global_values(indices, self.prime)
         return project_onto_available(raw, self.sorted_channels)
 
     def _compute_period_array(self) -> np.ndarray:

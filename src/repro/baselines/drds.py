@@ -236,5 +236,13 @@ class DRDSSchedule(Schedule):
             raw = self._global[indices]
         return project_onto_available(raw, self.sorted_channels)
 
+    def channel_gather(self, indices: np.ndarray) -> np.ndarray:
+        """Vectorized scattered access: one global-sequence gather,
+        projected — a whole streaming tile of scattered rows costs one
+        fancy index into the (possibly memmapped) global array."""
+        indices = np.asarray(indices, dtype=np.int64)
+        raw = np.asarray(self._global)[indices % self.period]
+        return project_onto_available(raw, self.sorted_channels)
+
     def _compute_period_array(self) -> np.ndarray:
         return self.channel_block(0, self.period)

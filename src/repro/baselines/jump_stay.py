@@ -33,6 +33,7 @@ __all__ = [
     "JumpStaySchedule",
     "jump_stay_global_channel",
     "jump_stay_global_block",
+    "jump_stay_global_values",
 ]
 
 
@@ -48,6 +49,23 @@ def jump_stay_global_channel(t: int, prime: int) -> int:
     return step
 
 
+def jump_stay_global_values(t: np.ndarray, prime: int) -> np.ndarray:
+    """Global Jump-Stay channels at an arbitrary array of slot indices.
+
+    The closed form of :func:`jump_stay_global_channel` evaluated
+    elementwise over any index array (the construction is naturally
+    periodic, so raw slot indices need no reduction).  Shared by
+    :func:`jump_stay_global_block` (contiguous windows) and
+    :meth:`JumpStaySchedule.channel_gather` (scattered tile rows).
+    """
+    t = np.asarray(t, dtype=np.int64)
+    round_index, offset = np.divmod(t, 3 * prime)
+    step = (round_index % (prime - 1)) + 1
+    start_channel = (round_index // (prime - 1)) % prime
+    jump = (start_channel + offset * step) % prime
+    return np.where(offset < 2 * prime, jump, step)
+
+
 def jump_stay_global_block(start: int, stop: int, prime: int) -> np.ndarray:
     """Global Jump-Stay channels for slots ``start .. stop-1``, vectorized.
 
@@ -57,12 +75,7 @@ def jump_stay_global_block(start: int, stop: int, prime: int) -> np.ndarray:
     """
     if stop < start:
         raise ValueError(f"empty window: start={start}, stop={stop}")
-    t = np.arange(start, stop, dtype=np.int64)
-    round_index, offset = np.divmod(t, 3 * prime)
-    step = (round_index % (prime - 1)) + 1
-    start_channel = (round_index // (prime - 1)) % prime
-    jump = (start_channel + offset * step) % prime
-    return np.where(offset < 2 * prime, jump, step)
+    return jump_stay_global_values(np.arange(start, stop, dtype=np.int64), prime)
 
 
 class JumpStaySchedule(Schedule):
@@ -96,6 +109,16 @@ class JumpStaySchedule(Schedule):
         its cubic period exceeds the batched engine's table limit.
         """
         raw = jump_stay_global_block(start, stop, self.prime) % self.n
+        return project_onto_available(raw, self.sorted_channels)
+
+    def channel_gather(self, indices: np.ndarray) -> np.ndarray:
+        """Vectorized scattered access: closed-form channels, projected.
+
+        A whole ``(shift row, time)`` tile of the streaming engine costs
+        one closed-form evaluation and one projection pass, instead of
+        one ``channel_block`` call (and one ``np.isin``) per row.
+        """
+        raw = jump_stay_global_values(indices, self.prime) % self.n
         return project_onto_available(raw, self.sorted_channels)
 
     def _compute_period_array(self) -> np.ndarray:

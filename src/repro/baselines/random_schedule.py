@@ -50,6 +50,7 @@ class RandomSchedule(Schedule):
         self.period = tape_length
 
     def channel_at(self, t: int) -> int:
+        """Channel at slot ``t``: the seeded tape, read cyclically."""
         return int(self._tape[t % self.period])
 
     def _period_array(self) -> np.ndarray:

@@ -146,8 +146,17 @@ class ZOSSchedule(Schedule):
         """
         if stop < start:
             raise ValueError(f"empty window: start={start}, stop={stop}")
+        return self.channel_gather(np.arange(start, stop, dtype=np.int64))
+
+    def channel_gather(self, indices: np.ndarray) -> np.ndarray:
+        """Vectorized scattered access: the Z/O/S anatomy, elementwise.
+
+        The same closed form as :meth:`channel_block`, over any index
+        array — one evaluation for a whole streaming tile of scattered
+        rows.
+        """
         p = self.prime
-        t = np.arange(start, stop, dtype=np.int64) % self.period
+        t = np.asarray(indices, dtype=np.int64) % self.period
         round_index, offset = np.divmod(t, 4 * p)
         rate = (round_index % (p - 1)) + 1
         orbit_start = (round_index // (p - 1)) % p

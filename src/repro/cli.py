@@ -9,6 +9,7 @@ numbers without writing Python:
     python -m repro simulate --agents 3,17,40/17,58/3,58 --universe 64
     python -m repro sweep --agents 3,17,40/17,58/3,58 --universe 64
     python -m repro sweep --agents ... --universe 64 --engine stream --tile-bytes 65536
+    python -m repro sweep --agents ... --universe 64 --engine stream --stream-workers 4 --tile-bytes auto
     python -m repro sweep --agents ... --universe 64 --store-dir .schedules --store-cap 1000000
     python -m repro store prewarm --agents ... --universe 64 --store-dir .schedules
     python -m repro store inspect --store-dir .schedules
@@ -50,6 +51,38 @@ def _parse_channels(text: str) -> list[int]:
 
 def _parse_agents(text: str) -> list[list[int]]:
     return [_parse_channels(part) for part in text.split("/")]
+
+
+def _parse_stream_workers(text: str) -> int:
+    """A nonnegative lane count (0 means the automatic budget)."""
+    try:
+        value = int(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"expected a worker count, got {text!r}"
+        ) from exc
+    if value < 0:
+        raise argparse.ArgumentTypeError(
+            f"stream workers must be nonnegative, got {value}"
+        )
+    return value
+
+
+def _parse_tile_bytes(text: str) -> int | None:
+    """``auto`` (the tuned default) or a positive byte count."""
+    if text == "auto":
+        return None
+    try:
+        value = int(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"expected 'auto' or a byte count, got {text!r}"
+        ) from exc
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"tile bytes must be positive, got {value}"
+        )
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -137,10 +170,22 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep.add_argument(
         "--tile-bytes",
-        type=int,
+        type=_parse_tile_bytes,
         default=None,
-        help="byte budget per streaming (shift, time) tile "
-        "(default 4 MiB); results are invariant under the choice",
+        metavar="auto|BYTES",
+        help="byte budget per streaming (shift, time) tile: 'auto' "
+        "(default) sizes tiles from the machine's L2/L3 caches, an "
+        "explicit byte count pins it; results are invariant under "
+        "the choice",
+    )
+    sweep.add_argument(
+        "--stream-workers",
+        type=_parse_stream_workers,
+        default=0,
+        help="thread lanes for the intra-pair streaming scan; 0 "
+        "(default) budgets automatically — all cores when the pair "
+        "fan-out is serial, one lane per pair when --workers already "
+        "saturates the cores",
     )
 
     store = sub.add_parser(
@@ -259,6 +304,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         store=store,
         engine=args.engine,
         tile_bytes=args.tile_bytes,
+        stream_workers=args.stream_workers or None,
     )
     try:
         instance = Instance(
@@ -287,6 +333,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print(f"algorithm: {args.algorithm}")
     if args.engine != "auto":
         print(f"engine:    {args.engine}")
+    if args.stream_workers:
+        print(f"stream workers: {args.stream_workers} per pair")
+    if args.tile_bytes is not None:
+        print(f"tile bytes: {args.tile_bytes}")
     print(format_table(["pair", "worst TTR", "mean", "p95", "shifts"], rows))
     missed = runner.cache_misses
     reused = runner.cache_hits

@@ -76,6 +76,7 @@ def ttr_sweep(
     max_cells: int = 1 << 21,
     engine: str = "auto",
     tile_bytes: int | None = None,
+    stream_workers: int | None = None,
 ) -> dict[int, int | None]:
     """TTR for every relative shift, in one batched or streamed pass.
 
@@ -92,8 +93,11 @@ def ttr_sweep(
     (scalar loop for tiny joint periods, the batched table path up to
     ``BATCH_TABLE_LIMIT``, the streaming tiled engine of
     :mod:`repro.core.stream` beyond it); the explicit names force one
-    path.  ``tile_bytes`` tunes the streaming tile budget
-    (:data:`repro.core.stream.DEFAULT_TILE_BYTES` when ``None``).  All
+    path.  ``tile_bytes`` pins the streaming tile budget and
+    ``stream_workers`` the streaming engine's intra-pair thread lanes
+    (both ``None`` by default: the auto-tuner sizes tiles from the
+    machine's cache topology and uses one lane per CPU — see
+    :func:`repro.core.stream.plan_tiles` and ``docs/TUNING.md``).  All
     engines return bit-identical results.
 
     Either side may be a raw 1-D period array instead of a
@@ -130,7 +134,8 @@ def ttr_sweep(
             b,
             shift_list,
             horizon,
-            tile_bytes=_stream.DEFAULT_TILE_BYTES if tile_bytes is None else tile_bytes,
+            tile_bytes=tile_bytes,
+            workers=stream_workers,
         )
     if a.period > BATCH_TABLE_LIMIT or b.period > BATCH_TABLE_LIMIT:
         raise ValueError(

@@ -12,14 +12,19 @@ vectorized materialization into numpy arrays — the verification engine
 and the simulator compare schedules as arrays rather than slot by slot.
 
 The bulk hooks are :meth:`Schedule.period_table` — one full period as a
-shared read-only array, cached up to ``_CACHE_LIMIT`` slots — and
+shared read-only array, cached up to ``_CACHE_LIMIT`` slots —
 :meth:`Schedule.channel_block` — an arbitrary slot window **without**
 materializing the period, which is what lets the streaming engine
 (:mod:`repro.core.stream`) sweep schedules whose period is too large to
-table.  The batched engine (:mod:`repro.core.batch`) builds every sweep
-from window views of the period table; adding a new algorithm only
-requires ``channel_at`` plus (optionally) a vectorized
-``_compute_period_array`` and/or ``channel_block``.
+table — and :meth:`Schedule.channel_gather` — channels at an arbitrary
+*array* of slot indices in one vectorized call, which is how the
+streaming engine's blocked scan assembles a whole ``(shift, time)``
+tile of scattered rows without per-row Python dispatch.  The batched
+engine (:mod:`repro.core.batch`) builds every sweep from window views
+of the period table; adding a new algorithm only requires
+``channel_at`` plus (optionally) a vectorized
+``_compute_period_array``, ``channel_block``, and/or
+``channel_gather``.
 """
 
 from __future__ import annotations
@@ -88,6 +93,31 @@ class Schedule:
         period_array = self._period_array()
         indices = np.arange(start, stop, dtype=np.int64) % self.period
         return period_array[indices]
+
+    def channel_gather(self, indices: np.ndarray) -> np.ndarray:
+        """Channels at an arbitrary array of slot indices, shape-preserving.
+
+        The scattered-access sibling of :meth:`channel_block`: where a
+        block is one contiguous window, a gather answers any index
+        array (typically the 2-D ``(shift row, time)`` matrix of one
+        streaming tile — see :mod:`repro.core.stream`) in a single
+        vectorized call.  The generic fallback indexes the cached
+        period array modularly for moderate periods and evaluates
+        ``channel_at`` per element for huge ones; subclasses with
+        closed-form sequences override it so a whole tile of scattered
+        rows costs one array expression instead of one Python call per
+        row.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        if self.period > _CACHE_LIMIT and indices.size < self.period:
+            flat = indices.reshape(-1)
+            out = np.fromiter(
+                (self.channel_at(int(t)) for t in flat),
+                dtype=np.int64,
+                count=flat.size,
+            )
+            return out.reshape(indices.shape)
+        return self._period_array()[indices % self.period]
 
     def period_table(self) -> np.ndarray:
         """One full period of the schedule as a shared int64 array.
@@ -162,6 +192,10 @@ class ConstantSchedule(Schedule):
         if stop < start:
             raise ValueError(f"empty window: start={start}, stop={stop}")
         return np.full(stop - start, self._channel, dtype=np.int64)
+
+    def channel_gather(self, indices: np.ndarray) -> np.ndarray:
+        """The constant channel, broadcast over the index array."""
+        return np.full(np.shape(indices), self._channel, dtype=np.int64)
 
 
 class FunctionSchedule(Schedule):

@@ -185,6 +185,13 @@ class StoredSchedule(Schedule):
         indices = np.arange(start, stop, dtype=np.int64) % self.period
         return self._table[indices]
 
+    def channel_gather(self, indices: np.ndarray) -> np.ndarray:
+        """One fancy index into the wrapped table — for a store memmap
+        the touched pages come straight off disk (or the shared OS page
+        cache), never the whole table."""
+        indices = np.asarray(indices, dtype=np.int64)
+        return self._table[indices % self.period]
+
     def _period_array(self) -> np.ndarray:
         return self._table
 

@@ -13,7 +13,8 @@ This module removes the table from the loop.  The coincidence
 computation walks fixed-byte ``(shift-block, time-block)`` **tiles**:
 
 * each tile's channel rows are generated *on demand* through
-  :meth:`~repro.core.schedule.Schedule.channel_block`, the chunk API
+  :meth:`~repro.core.schedule.Schedule.channel_block` /
+  :meth:`~repro.core.schedule.Schedule.channel_gather`, the chunk APIs
   every baseline implements (vectorized closed forms for the global
   sequences; memmap slices for store-attached tables; a generic
   modular-index fallback otherwise) — no full period is ever held;
@@ -24,39 +25,225 @@ computation walks fixed-byte ``(shift-block, time-block)`` **tiles**:
 * tiles carry per-shift *first-meet* state: a shift row that has
   already rendezvoused retires and never costs another cell, and time
   blocks grow geometrically as rows drop out (most shifts meet early);
-* within a tile, offsets are processed in sorted order; when a block's
-  offsets are close together one contiguous ``channel_block`` chunk is
-  gathered into rows via a strided window view, otherwise each row is
-  generated independently — both paths stay inside the ``tile_bytes``
-  budget;
 * the scan stops at ``lcm(period_A, period_B)`` slots even when the
   caller's horizon is larger, the same early-stop the batched engine
   applies: the joint pattern is periodic, so a silent joint period
   means no rendezvous ever.
 
-Results are bit-identical to the batched and scalar engines —
-``tests/core/test_stream.py`` certifies three-way parity across every
-workload generator and tile-size choice.
+Two scans implement those semantics:
+
+* :func:`ttr_sweep_stream` — the production path.  The deduped shift
+  classes are split into independent **shift blocks** (a
+  :class:`TilePlan` decides how many rows per block and how many bytes
+  per tile — :func:`plan_tiles` auto-tunes both from the worker count,
+  the machine's L2/L3 cache sizes, and the problem shape), every
+  block's tile rows are assembled in *one* vectorized
+  ``channel_gather`` call (dense blocks use a contiguous
+  ``channel_block`` chunk plus strided window views instead), and with
+  ``workers > 1`` the blocks fan out over a thread pool — numpy
+  releases the GIL inside the tile-sized comparisons and gathers, so
+  the lanes genuinely overlap on multi-core machines.  Blocks touch
+  disjoint result rows, so the merge is trivially race-free and the
+  result is bit-identical to any serial order.
+* :func:`ttr_sweep_stream_serial` — the original single-threaded
+  reference scan, kept verbatim (fixed ``DEFAULT_TILE_BYTES`` budget,
+  per-row generation for sparse blocks).  It plays the role for the
+  parallel scan that the scalar loop plays for the batched engine: the
+  independent implementation parity tests certify against, and the
+  baseline the intra-pair speedup benchmark measures from.
+
+Results are bit-identical across both scans, every worker count, every
+tile plan, and the batched and scalar engines —
+``tests/core/test_stream.py`` certifies the full parity matrix across
+every workload generator.  Tuning guidance lives in ``docs/TUNING.md``.
 """
 
 from __future__ import annotations
 
+import functools
 import math
+import os
 from collections.abc import Iterable
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
 
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
 from repro.core.schedule import Schedule
 
-__all__ = ["ttr_sweep_stream", "reduce_shifts", "scatter_ttrs", "DEFAULT_TILE_BYTES"]
+__all__ = [
+    "ttr_sweep_stream",
+    "ttr_sweep_stream_serial",
+    "reduce_shifts",
+    "scatter_ttrs",
+    "TilePlan",
+    "plan_tiles",
+    "cache_sizes",
+    "DEFAULT_TILE_BYTES",
+]
 
-#: Default byte budget for one (shift, time) tile.  4 MiB keeps tiles
-#: inside typical L2/L3 while leaving room for the generated chunks.
+#: Fixed byte budget of the serial reference scan's tiles (and the
+#: historical default of the streaming engine before the auto-tuner).
+#: 4 MiB keeps tiles inside typical L2/L3 while leaving room for the
+#: generated chunks.
 DEFAULT_TILE_BYTES = 1 << 22
 
 _INITIAL_TIME_BLOCK = 256
 _BYTES_PER_CELL = 8  # int64 channel ids
+
+# Auto-tuner clamps: a tile below 16 KiB drowns in per-tile dispatch
+# overhead; one above 8 MiB stops fitting any per-core cache level.
+_MIN_TILE_BYTES = 1 << 14
+_MAX_TILE_BYTES = 1 << 23
+# Shift blocks per worker lane: >1 so early-retiring lanes can steal
+# remaining blocks from the queue instead of idling.
+_BLOCKS_PER_WORKER = 4
+# Cache-size fallbacks when the sysfs topology is unreadable.
+_FALLBACK_L2_BYTES = 1 << 20
+_FALLBACK_L3_BYTES = 1 << 25
+
+
+def _parse_cache_size(text: str) -> int | None:
+    """Parse a sysfs cache size string (``'2048K'``, ``'8M'``) to bytes."""
+    text = text.strip().upper()
+    scale = 1
+    if text.endswith("K"):
+        scale, text = 1 << 10, text[:-1]
+    elif text.endswith("M"):
+        scale, text = 1 << 20, text[:-1]
+    try:
+        return int(text) * scale
+    except ValueError:
+        return None
+
+
+@functools.lru_cache(maxsize=1)
+def cache_sizes() -> tuple[int, int]:
+    """Best-effort ``(L2, L3)`` data-cache sizes of this machine, in bytes.
+
+    Probed once from the Linux sysfs cache topology
+    (``/sys/devices/system/cpu/cpu0/cache``) and memoized; platforms
+    without it get the conservative fallbacks (1 MiB L2, 32 MiB L3).
+    Deterministic on a given machine — the auto-tuner's plans therefore
+    are too.
+    """
+    l2, l3 = _FALLBACK_L2_BYTES, _FALLBACK_L3_BYTES
+    root = "/sys/devices/system/cpu/cpu0/cache"
+    try:
+        names = sorted(os.listdir(root))
+    except OSError:
+        names = []
+    for name in names:
+        if not name.startswith("index"):
+            continue
+        base = os.path.join(root, name)
+        try:
+            with open(os.path.join(base, "level")) as handle:
+                level = int(handle.read())
+            with open(os.path.join(base, "type")) as handle:
+                kind = handle.read().strip()
+            with open(os.path.join(base, "size")) as handle:
+                size = _parse_cache_size(handle.read())
+        except (OSError, ValueError):
+            continue
+        if kind not in ("Unified", "Data") or size is None:
+            continue
+        if level == 2:
+            l2 = size
+        elif level == 3:
+            l3 = size
+    return l2, max(l2, l3)
+
+
+@dataclass(frozen=True)
+class TilePlan:
+    """One resolved tiling decision for the blocked streaming scan.
+
+    ``tile_bytes`` bounds the bytes of any single ``(shift, time)``
+    tile *per worker lane*; ``block_rows`` is how many deduped shift
+    classes one independent block carries; ``workers`` is the number of
+    thread lanes the blocks fan out over.  Results are invariant under
+    every plan — a plan only moves wall-clock and peak memory.  Build
+    one with :func:`plan_tiles` (auto-tuned) or directly (pinned, e.g.
+    in tests that force degenerate shapes).
+    """
+
+    tile_bytes: int
+    block_rows: int
+    workers: int
+
+    def __post_init__(self):
+        if self.tile_bytes <= 0:
+            raise ValueError(f"tile_bytes must be positive, got {self.tile_bytes}")
+        if self.block_rows <= 0:
+            raise ValueError(f"block_rows must be positive, got {self.block_rows}")
+        if self.workers <= 0:
+            raise ValueError(f"workers must be positive, got {self.workers}")
+
+    @property
+    def cells(self) -> int:
+        """Int64 cells one tile may hold under ``tile_bytes``."""
+        return max(1, self.tile_bytes // _BYTES_PER_CELL)
+
+
+def plan_tiles(
+    num_offsets: int,
+    horizon: int,
+    workers: int | None = None,
+    tile_bytes: int | None = None,
+    caches: tuple[int, int] | None = None,
+) -> TilePlan:
+    """Auto-tune a :class:`TilePlan` for one blocked streaming scan.
+
+    Pure arithmetic over the problem shape (``num_offsets`` deduped
+    shift classes, ``horizon`` slots), the worker count (``None``: one
+    lane per CPU), and the machine's cache sizes (``caches`` overrides
+    the memoized :func:`cache_sizes` probe) — no wall-clock or RNG
+    input, so the same arguments always produce the same plan.
+
+    Sizing policy, in order:
+
+    * **tile** — ``None`` targets half the L2 cache (clamped to
+      16 KiB .. 8 MiB) so one lane's working tile stays cache-resident;
+      with multiple lanes the per-lane tile is additionally capped so
+      all lanes together leave half the L3 free.  An explicit
+      ``tile_bytes`` pins the budget unchanged.
+    * **block rows** — serial scans take the widest block one tile can
+      hold (fewer tiles, best vectorization); parallel scans split the
+      rows into ``workers * 4`` blocks (bounded by the tile cap) so
+      lanes that retire early pick up remaining blocks instead of
+      idling.
+    * **workers** — clamped to the number of blocks; extra lanes could
+      never receive work.
+    """
+    if num_offsets < 0:
+        raise ValueError(f"num_offsets must be nonnegative, got {num_offsets}")
+    if workers is None:
+        workers = os.cpu_count() or 1
+    workers = max(1, int(workers))
+    if tile_bytes is None:
+        l2, l3 = caches if caches is not None else cache_sizes()
+        tile = min(max(l2 // 2, _MIN_TILE_BYTES), _MAX_TILE_BYTES)
+        if workers > 1:
+            tile = min(tile, max(_MIN_TILE_BYTES, (l3 // 2) // workers))
+    else:
+        if tile_bytes <= 0:
+            raise ValueError(f"tile_bytes must be positive, got {tile_bytes}")
+        tile = int(tile_bytes)
+    cells = max(1, tile // _BYTES_PER_CELL)
+    initial_block = min(_INITIAL_TIME_BLOCK, max(1, horizon))
+    rows_cap = max(1, cells // initial_block)
+    rows = max(1, num_offsets)
+    if workers > 1:
+        per_lane = -(-rows // (workers * _BLOCKS_PER_WORKER))
+        block_rows = max(1, min(rows_cap, per_lane))
+    else:
+        block_rows = min(rows_cap, rows)
+    num_blocks = -(-rows // block_rows)
+    return TilePlan(
+        tile_bytes=tile, block_rows=block_rows, workers=min(workers, num_blocks)
+    )
 
 
 def ttr_sweep_stream(
@@ -64,9 +251,11 @@ def ttr_sweep_stream(
     b: Schedule | np.ndarray,
     shifts: Iterable[int],
     horizon: int,
-    tile_bytes: int = DEFAULT_TILE_BYTES,
+    tile_bytes: int | None = None,
+    workers: int | None = None,
+    plan: TilePlan | None = None,
 ) -> dict[int, int | None]:
-    """TTR for every relative shift, streamed in fixed-byte tiles.
+    """TTR for every relative shift, streamed in worker-parallel tiles.
 
     Semantics are identical to :func:`repro.core.batch.ttr_sweep` (and
     therefore to a per-shift loop over
@@ -76,14 +265,20 @@ def ttr_sweep_stream(
     ``horizon`` slots.  Unlike the batched engine it never materializes
     a full period table, so it works at any period size.
 
-    ``tile_bytes`` bounds the bytes of one ``(shift, time)`` tile and
-    thereby peak memory; results are invariant under the choice (tiles
-    smaller than one period included).  Either side may be a raw 1-D
-    period array (e.g. a read-only memmap attached from a
+    Execution is the blocked scan described in the module docstring:
+    the deduped shift classes split into independent blocks that fan
+    out over ``workers`` thread lanes (``None``: one per CPU;
+    ``1``: inline, no pool).  ``tile_bytes`` pins the per-lane tile
+    budget (``None``: auto-tuned from the cache sizes); ``plan``
+    overrides the whole :class:`TilePlan` when full control is needed.
+    Results are invariant under every plan and worker count — blocks
+    own disjoint result rows, and each row's first-meet scan is
+    deterministic.  Either side may be a raw 1-D period array (e.g. a
+    read-only memmap attached from a
     :class:`~repro.core.store.ScheduleStore`) — tiles are then sliced
     straight off the array, which for a memmap means straight off disk.
     """
-    if tile_bytes <= 0:
+    if tile_bytes is not None and tile_bytes <= 0:
         raise ValueError(f"tile_bytes must be positive, got {tile_bytes}")
     a = _coerce_schedule(a)
     b = _coerce_schedule(b)
@@ -99,12 +294,58 @@ def ttr_sweep_stream(
     # profiled separately with the zero side as the broadcast row.
     ttrs = np.empty(len(unique_pairs), dtype=np.int64)
     negative = unique_pairs[:, 1] != 0
+    for group, var, fixed, column in ((~negative, a, b, 0), (negative, b, a, 1)):
+        if not group.any():
+            continue
+        group_plan = plan
+        if group_plan is None:
+            group_plan = plan_tiles(
+                int(group.sum()), effective, workers=workers, tile_bytes=tile_bytes
+            )
+        ttrs[group] = _stream_offsets(
+            var, fixed, unique_pairs[group, column], effective, group_plan
+        )
+    return scatter_ttrs(shift_list, ttrs, inverse)
+
+
+def ttr_sweep_stream_serial(
+    a: Schedule | np.ndarray,
+    b: Schedule | np.ndarray,
+    shifts: Iterable[int],
+    horizon: int,
+    tile_bytes: int = DEFAULT_TILE_BYTES,
+) -> dict[int, int | None]:
+    """The single-threaded reference scan of the streaming engine.
+
+    The original streaming implementation, kept verbatim: one thread,
+    a fixed ``tile_bytes`` budget, per-row chunk generation for sparse
+    shift blocks.  It is to :func:`ttr_sweep_stream` what the scalar
+    loop is to the batched engine — the independent reference the
+    parallel blocked scan is parity-certified against (bit-identical
+    per cell) and the baseline ``benchmarks/test_stream_sweep.py``
+    measures the intra-pair speedup from.  Production callers should
+    use :func:`ttr_sweep_stream`.
+    """
+    if tile_bytes <= 0:
+        raise ValueError(f"tile_bytes must be positive, got {tile_bytes}")
+    a = _coerce_schedule(a)
+    b = _coerce_schedule(b)
+    shift_list = [int(s) for s in shifts]
+    if not shift_list:
+        return {}
+    if horizon <= 0:
+        return {s: None for s in shift_list}
+
+    unique_pairs, inverse = reduce_shifts(a, b, shift_list)
+    effective = min(horizon, math.lcm(a.period, b.period))
+    ttrs = np.empty(len(unique_pairs), dtype=np.int64)
+    negative = unique_pairs[:, 1] != 0
     if (~negative).any():
-        ttrs[~negative] = _stream_offsets(
+        ttrs[~negative] = _stream_offsets_serial(
             a, b, unique_pairs[~negative, 0], effective, tile_bytes
         )
     if negative.any():
-        ttrs[negative] = _stream_offsets(
+        ttrs[negative] = _stream_offsets_serial(
             b, a, unique_pairs[negative, 1], effective, tile_bytes
         )
     return scatter_ttrs(shift_list, ttrs, inverse)
@@ -154,10 +395,145 @@ def _coerce_schedule(x: Schedule | np.ndarray) -> Schedule:
     return coerce_schedule(x)
 
 
-def _gather_rows(
+class _FixedRowCache:
+    """Bounded memo of the fixed side's ``(t0, t1)`` channel rows.
+
+    Every shift block walks the same early time windows before its
+    retirement schedule diverges, so the rows are shared across blocks
+    — and across thread lanes.  Unlocked on purpose: dict reads/writes
+    are atomic under the GIL, and the worst race outcome is one row
+    generated twice with identical contents, never a wrong result.
+    The byte budget keeps late, rare, per-block-unique windows from
+    accumulating.
+    """
+
+    __slots__ = ("_schedule", "_budget", "_rows", "_cached_cells")
+
+    def __init__(self, schedule: Schedule, budget_cells: int):
+        self._schedule = schedule
+        self._budget = budget_cells
+        self._rows: dict[tuple[int, int], np.ndarray] = {}
+        self._cached_cells = 0
+
+    def row(self, t0: int, t1: int) -> np.ndarray:
+        """The fixed side's channels over ``[t0, t1)``, memoized."""
+        row = self._rows.get((t0, t1))
+        if row is None:
+            row = np.asarray(self._schedule.channel_block(t0, t1))
+            if self._cached_cells + row.size <= self._budget:
+                self._rows[(t0, t1)] = row
+                self._cached_cells += row.size
+        return row
+
+
+def _gather_tile(
     schedule: Schedule, offsets: np.ndarray, t0: int, width: int
 ) -> np.ndarray:
     """Rows ``schedule[(off + t0) .. (off + t0 + width))`` per offset.
+
+    ``offsets`` must be sorted ascending.  When the block's offsets are
+    close together (span no larger than the rows matrix itself), one
+    contiguous chunk is generated and the rows are strided window views
+    of it; sparse blocks assemble the whole ``(rows, width)`` index
+    matrix and fetch it in a single vectorized ``channel_gather`` call
+    — the per-row Python dispatch this replaces is what dominated the
+    serial reference scan on strided Table-1 sweeps.
+    """
+    base = int(offsets[0])
+    span = int(offsets[-1]) - base + width
+    if span <= offsets.size * width:
+        chunk = np.asarray(schedule.channel_block(base + t0, base + t0 + span))
+        return sliding_window_view(chunk, width)[offsets - base]
+    starts = offsets[:, np.newaxis] + t0
+    window = np.arange(width, dtype=np.int64)[np.newaxis, :]
+    return np.asarray(schedule.channel_gather(starts + window))
+
+
+def _scan_block(
+    var: Schedule,
+    offsets: np.ndarray,
+    block: np.ndarray,
+    horizon: int,
+    cells: int,
+    fixed_rows: _FixedRowCache,
+    result: np.ndarray,
+) -> None:
+    """First-meet scan of one independent shift block.
+
+    ``block`` holds indices into ``offsets``/``result`` (ascending by
+    offset); the scan writes only those rows of ``result``, so blocks
+    compose race-free across thread lanes.  Per-row semantics are
+    identical to the serial reference scan: geometric time-block
+    growth, first-meet retirement, ``-1`` for a miss.
+    """
+    remaining = block
+    t0 = 0
+    length = min(_INITIAL_TIME_BLOCK, horizon, max(1, cells // remaining.size))
+    while t0 < horizon and remaining.size:
+        t1 = min(t0 + length, horizon)
+        width = t1 - t0
+        rows = _gather_tile(var, offsets[remaining], t0, width)
+        eq = rows == fixed_rows.row(t0, t1)[np.newaxis, :]
+        hit = eq.any(axis=1)
+        if hit.any():
+            result[remaining[hit]] = t0 + eq[hit].argmax(axis=1)
+            remaining = remaining[~hit]
+        t0 = t1
+        # Survivors are the slow rows: widen the window so the scan
+        # finishes in O(log horizon) passes within the budget.
+        length = min(length * 2, max(1, cells // max(remaining.size, 1)))
+
+
+def _stream_offsets(
+    var: Schedule,
+    fixed: Schedule,
+    offsets: np.ndarray,
+    horizon: int,
+    plan: TilePlan,
+) -> np.ndarray:
+    """First-coincidence slot per offset, via the blocked parallel scan.
+
+    ``var`` is the schedule whose phase varies per shift (windows start
+    at ``offset``), ``fixed`` the one pinned at phase zero; ``-1``
+    marks a miss within ``horizon``.  The sorted offset order is cut
+    into ``plan.block_rows``-wide blocks; each block scans
+    independently (one lane inline, ``plan.workers`` thread lanes
+    otherwise) and writes its own disjoint result rows.
+    """
+    num = offsets.size
+    result = np.full(num, -1, dtype=np.int64)
+    if num == 0:
+        return result
+    # Ascending by offset so each tile's rows gather from one
+    # near-contiguous chunk when possible.
+    order = np.argsort(offsets, kind="stable")
+    blocks = [
+        order[lo : lo + plan.block_rows]
+        for lo in range(0, num, plan.block_rows)
+    ]
+    fixed_rows = _FixedRowCache(fixed, plan.cells)
+    lanes = min(plan.workers, len(blocks))
+    if lanes > 1:
+        with ThreadPoolExecutor(max_workers=lanes) as pool:
+            futures = [
+                pool.submit(
+                    _scan_block, var, offsets, block, horizon, plan.cells,
+                    fixed_rows, result,
+                )
+                for block in blocks
+            ]
+            for future in futures:
+                future.result()
+    else:
+        for block in blocks:
+            _scan_block(var, offsets, block, horizon, plan.cells, fixed_rows, result)
+    return result
+
+
+def _gather_rows_serial(
+    schedule: Schedule, offsets: np.ndarray, t0: int, width: int
+) -> np.ndarray:
+    """The reference scan's row gather: contiguous chunk or per-row calls.
 
     ``offsets`` must be sorted ascending.  When the block's offsets are
     close together (span no larger than the rows matrix itself), one
@@ -178,14 +554,14 @@ def _gather_rows(
     )
 
 
-def _stream_offsets(
+def _stream_offsets_serial(
     var: Schedule,
     fixed: Schedule,
     offsets: np.ndarray,
     horizon: int,
     tile_bytes: int,
 ) -> np.ndarray:
-    """First-coincidence slot per offset against the zero-offset side.
+    """The reference scan: one thread, fixed budget, per-row gathers.
 
     ``var`` is the schedule whose phase varies per shift (windows start
     at ``offset``), ``fixed`` the one pinned at phase zero; ``-1``
@@ -196,26 +572,9 @@ def _stream_offsets(
     cells = max(1, tile_bytes // _BYTES_PER_CELL)
     shift_block = max(1, cells // _INITIAL_TIME_BLOCK)
     order = np.argsort(offsets, kind="stable")
-    # Every shift block walks the same early time windows before its
-    # retirement schedule diverges, so the fixed side's rows are
-    # memoized per (t0, t1) — bounded by the tile budget so late, rare,
-    # per-block-unique windows don't accumulate.
-    fixed_rows: dict[tuple[int, int], np.ndarray] = {}
-    fixed_cached_cells = 0
-
-    def fixed_row(t0: int, t1: int) -> np.ndarray:
-        nonlocal fixed_cached_cells
-        row = fixed_rows.get((t0, t1))
-        if row is None:
-            row = np.asarray(fixed.channel_block(t0, t1))
-            if fixed_cached_cells + row.size <= cells:
-                fixed_rows[(t0, t1)] = row
-                fixed_cached_cells += row.size
-        return row
+    fixed_rows = _FixedRowCache(fixed, cells)
 
     for lo in range(0, num, shift_block):
-        # Indices into `offsets`, ascending by offset so each tile's
-        # rows gather from one near-contiguous chunk when possible.
         remaining = order[lo : lo + shift_block]
         t0 = 0
         length = min(
@@ -224,14 +583,12 @@ def _stream_offsets(
         while t0 < horizon and remaining.size:
             t1 = min(t0 + length, horizon)
             width = t1 - t0
-            rows = _gather_rows(var, offsets[remaining], t0, width)
-            eq = rows == fixed_row(t0, t1)[np.newaxis, :]
+            rows = _gather_rows_serial(var, offsets[remaining], t0, width)
+            eq = rows == fixed_rows.row(t0, t1)[np.newaxis, :]
             hit = eq.any(axis=1)
             if hit.any():
                 result[remaining[hit]] = t0 + eq[hit].argmax(axis=1)
                 remaining = remaining[~hit]
             t0 = t1
-            # Survivors are the slow rows: widen the window so the scan
-            # finishes in O(log horizon) passes within the budget.
             length = min(length * 2, max(1, cells // max(remaining.size, 1)))
     return result

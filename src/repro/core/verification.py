@@ -93,15 +93,18 @@ def ttr_profile(
     horizon: int,
     engine: str = "auto",
     tile_bytes: int | None = None,
+    stream_workers: int | None = None,
 ) -> dict[int, int | None]:
     """TTR for each relative shift; ``None`` marks a miss within horizon.
 
-    ``engine`` / ``tile_bytes`` select and tune the sweep engine (see
-    :func:`repro.core.batch.ttr_sweep`); the default dispatches on
-    period size and all engines are bit-identical.
+    ``engine`` / ``tile_bytes`` / ``stream_workers`` select and tune
+    the sweep engine (see :func:`repro.core.batch.ttr_sweep`); the
+    default dispatches on period size, auto-tunes the streaming tile
+    plan, and all engines are bit-identical.
     """
     return batch.ttr_sweep(
-        a, b, shifts, horizon, engine=engine, tile_bytes=tile_bytes
+        a, b, shifts, horizon, engine=engine, tile_bytes=tile_bytes,
+        stream_workers=stream_workers,
     )
 
 
@@ -141,17 +144,20 @@ def max_ttr(
     horizon: int,
     engine: str = "auto",
     tile_bytes: int | None = None,
+    stream_workers: int | None = None,
 ) -> int:
     """Maximum TTR over the given shifts.
 
     Raises ``AssertionError`` if any shift misses within the horizon —
     callers that expect guaranteed rendezvous should size the horizon
-    above the theoretical bound.  ``engine`` / ``tile_bytes`` pass
-    through to :func:`repro.core.batch.ttr_sweep`.
+    above the theoretical bound.  ``engine`` / ``tile_bytes`` /
+    ``stream_workers`` pass through to
+    :func:`repro.core.batch.ttr_sweep`.
     """
     worst = -1
     for shift, ttr in ttr_profile(
-        a, b, shifts, horizon, engine=engine, tile_bytes=tile_bytes
+        a, b, shifts, horizon, engine=engine, tile_bytes=tile_bytes,
+        stream_workers=stream_workers,
     ).items():
         if ttr is None:
             raise AssertionError(
@@ -168,15 +174,16 @@ def verify_guarantee(
     shifts: Iterable[int] | None = None,
     engine: str = "auto",
     tile_bytes: int | None = None,
+    stream_workers: int | None = None,
 ) -> tuple[bool, int, int | None]:
     """Check that every tested shift rendezvouses within ``bound`` slots.
 
     Returns ``(ok, worst_ttr, failing_shift)``.  With ``shifts=None`` the
     exhaustive shift range is used (exact certification for cyclic
-    schedules).  ``engine`` / ``tile_bytes`` pass through to
-    :func:`repro.core.batch.ttr_sweep` — with the streaming engine this
-    certification works even on schedules whose period is too large to
-    table.
+    schedules).  ``engine`` / ``tile_bytes`` / ``stream_workers`` pass
+    through to :func:`repro.core.batch.ttr_sweep` — with the streaming
+    engine this certification works even on schedules whose period is
+    too large to table.
     """
     if shifts is None:
         shifts = exhaustive_shift_range(a, b)
@@ -187,7 +194,8 @@ def verify_guarantee(
         if not pending:
             return True, worst, None
         profile = batch.ttr_sweep(
-            a, b, pending, bound + 1, engine=engine, tile_bytes=tile_bytes
+            a, b, pending, bound + 1, engine=engine, tile_bytes=tile_bytes,
+            stream_workers=stream_workers,
         )
         for shift in pending:
             ttr = profile[shift]

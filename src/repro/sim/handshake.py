@@ -19,6 +19,8 @@ which is the phenomenon this module lets experiments quantify.
 
 from __future__ import annotations
 
+import functools
+import zlib
 from dataclasses import dataclass, field
 
 from repro.sim.agent import ASLEEP, Agent
@@ -26,6 +28,18 @@ from repro.sim.agent import ASLEEP, Agent
 __all__ = ["ChirpAndListen", "HandshakeResult"]
 
 _MASK = (1 << 64) - 1
+
+
+@functools.lru_cache(maxsize=4096)
+def _name_key(name: str) -> int:
+    """Stable 64-bit key for an agent name.
+
+    Built from CRC32 (not Python's ``hash``, which is randomized per
+    process via ``PYTHONHASHSEED``) so a seeded simulation replays
+    identically across runs and machines.
+    """
+    data = name.encode()
+    return (zlib.crc32(data) << 32 | zlib.crc32(data[::-1])) & _MASK
 
 
 def _mix(x: int) -> int:
@@ -62,8 +76,9 @@ class ChirpAndListen:
         self.seed = seed
 
     def _chirps(self, name: str, t: int) -> bool:
-        """Deterministic fair coin per (agent, slot)."""
-        return _mix(self.seed ^ hash(name) & _MASK ^ (t * 0xD1342543DE82EF95 & _MASK)) & 1 == 1
+        """Deterministic fair coin per (agent, slot) — stable across
+        processes (no ``hash`` randomization)."""
+        return _mix(self.seed ^ _name_key(name) ^ (t * 0xD1342543DE82EF95 & _MASK)) & 1 == 1
 
     def run(self, horizon: int) -> HandshakeResult:
         """Simulate ``horizon`` slots; record hearing and mutual events."""

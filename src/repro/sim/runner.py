@@ -151,6 +151,19 @@ class SweepRunner:
     handles (directory paths) and picklable inputs (``Instance`` +
     algorithm name), never live ``Schedule`` objects.  Results return
     in pair order regardless of which path executed.
+
+    **Worker-budget contract.** ``workers`` is *one* budget spent on
+    two axes: across pairs (the process pool) or within a pair (the
+    streaming engine's intra-pair thread lanes,
+    :func:`repro.core.stream.ttr_sweep_stream`).
+    :meth:`worker_budget` resolves it per job: a job big enough to fan
+    out gives every process to the pair fan-out and keeps each pair's
+    scan single-lane (cores are already saturated; nested parallelism
+    would only thrash), while a small job — few pairs, or one huge-
+    period pair — stays in one process and hands the whole budget to
+    the intra-pair scan.  ``stream_workers`` pins the per-pair lane
+    count on both paths instead (``None`` keeps the automatic split).
+    Every split is bit-identical; see ``docs/TUNING.md``.
     """
 
     def __init__(
@@ -159,6 +172,7 @@ class SweepRunner:
         store: ScheduleStore | str | os.PathLike | None = None,
         engine: str = "auto",
         tile_bytes: int | None = None,
+        stream_workers: int | None = None,
     ):
         self.workers = os.cpu_count() or 1 if workers is None else max(1, workers)
         if store is not None and not isinstance(store, ScheduleStore):
@@ -168,6 +182,11 @@ class SweepRunner:
             raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
         self.engine = engine
         self.tile_bytes = tile_bytes
+        if stream_workers is not None and stream_workers < 1:
+            raise ValueError(
+                f"stream_workers must be positive, got {stream_workers}"
+            )
+        self.stream_workers = stream_workers
         self._schedules: dict[
             tuple[frozenset[int], int, str, int], Schedule
         ] = {}
@@ -249,6 +268,7 @@ class SweepRunner:
         dense: int = 64,
         probes: int = 64,
         seed: int = 0,
+        stream_workers: int | None = None,
     ) -> MeasuredPair:
         """Measure TTR for one overlapping pair over the shift plan.
 
@@ -256,6 +276,9 @@ class SweepRunner:
         — deterministic algorithms must never miss when the horizon
         exceeds their guarantee; the randomized baseline gets the same
         horizon and is expected to make it with high probability.
+        ``stream_workers`` pins the intra-pair streaming lanes for this
+        one measurement; ``None`` takes the runner's one-pair budget
+        (see :meth:`worker_budget`).
         """
         i, j = pair
         a = self.schedule_for(instance.sets[i], instance.n, algorithm, seed * 1000 + i)
@@ -263,8 +286,11 @@ class SweepRunner:
         plan = shift_plan(a, b, dense=dense, probes=probes, seed=seed)
         if not plan:
             raise ValueError("empty shift plan: need dense > 0 or probes > 0")
+        if stream_workers is None:
+            stream_workers = self.worker_budget(1)[1]
         profile = ttr_sweep(
-            a, b, plan, horizon, engine=self.engine, tile_bytes=self.tile_bytes
+            a, b, plan, horizon, engine=self.engine, tile_bytes=self.tile_bytes,
+            stream_workers=stream_workers,
         )
         for shift in plan:
             if profile[shift] is None:
@@ -281,6 +307,24 @@ class SweepRunner:
         if self.workers > 1 and num_pairs >= MIN_PARALLEL_PAIRS:
             return self.workers
         return 1
+
+    def worker_budget(self, num_pairs: int) -> tuple[int, int]:
+        """Split the worker budget: ``(pair_processes, stream_lanes)``.
+
+        One budget, two axes.  Jobs that fan out across pairs
+        (``effective_workers > 1``) give every process to the pair pool
+        and keep each pair's streaming scan at one lane — the cores are
+        already saturated, and nested intra-pair threads would only
+        contend.  Jobs that stay serial (fewer than
+        ``MIN_PARALLEL_PAIRS`` pairs) hand the entire budget to the
+        intra-pair scan, so a single huge-period pair still uses every
+        core.  A pinned ``stream_workers`` overrides the per-pair lane
+        count on both paths.
+        """
+        pool = self.effective_workers(num_pairs)
+        if self.stream_workers is not None:
+            return pool, self.stream_workers
+        return pool, 1 if pool > 1 else self.workers
 
     def measure_instance(
         self,
@@ -300,7 +344,8 @@ class SweepRunner:
         pairs = instance.overlapping_pairs()
         if max_pairs is not None:
             pairs = pairs[:max_pairs]
-        if self.effective_workers(len(pairs)) > 1:
+        pool_workers, stream_lanes = self.worker_budget(len(pairs))
+        if pool_workers > 1:
             store_handle = None
             if self.store is not None:
                 # Build each distinct period table exactly once, here in
@@ -311,7 +356,7 @@ class SweepRunner:
             payloads = [
                 (
                     instance, algorithm, pair, horizon, dense, probes, seed,
-                    store_handle, self.engine, self.tile_bytes,
+                    store_handle, self.engine, self.tile_bytes, stream_lanes,
                 )
                 for pair in pairs
             ]
@@ -322,6 +367,7 @@ class SweepRunner:
             self.measure_pair(
                 instance, algorithm, pair, horizon,
                 dense=dense, probes=probes, seed=seed,
+                stream_workers=stream_lanes,
             )
             for pair in pairs
         ]
@@ -334,11 +380,12 @@ _WORKER_RUNNERS: dict[tuple, SweepRunner] = {}
 
 
 def _measure_pair_task(payload: tuple) -> MeasuredPair:
+    """Measure one pair inside a pool worker (its runner is reused)."""
     (
         instance, algorithm, pair, horizon, dense, probes, seed,
-        store_handle, engine, tile_bytes,
+        store_handle, engine, tile_bytes, stream_lanes,
     ) = payload
-    runner_key = (store_handle, engine, tile_bytes)
+    runner_key = (store_handle, engine, tile_bytes, stream_lanes)
     runner = _WORKER_RUNNERS.get(runner_key)
     if runner is None:
         store = None
@@ -346,7 +393,8 @@ def _measure_pair_task(payload: tuple) -> MeasuredPair:
             store_dir, memory_cap = store_handle
             store = ScheduleStore(store_dir, memory_cap=memory_cap)
         runner = SweepRunner(
-            workers=1, store=store, engine=engine, tile_bytes=tile_bytes
+            workers=1, store=store, engine=engine, tile_bytes=tile_bytes,
+            stream_workers=stream_lanes,
         )
         _WORKER_RUNNERS[runner_key] = runner
     return runner.measure_pair(

@@ -15,8 +15,14 @@ import pytest
 
 import repro
 from repro.core import batch
+from repro.core import stream as stream_module
 from repro.core.schedule import CyclicSchedule, FunctionSchedule
-from repro.core.stream import ttr_sweep_stream
+from repro.core.stream import (
+    TilePlan,
+    plan_tiles,
+    ttr_sweep_stream,
+    ttr_sweep_stream_serial,
+)
 from repro.core.verification import (
     exhaustive_shift_range,
     ttr_for_shift,
@@ -177,3 +183,160 @@ def test_verify_guarantee_through_stream_engine():
     streamed = verify_guarantee(a, b, bound, engine="stream", tile_bytes=4096)
     assert batched == streamed
     assert streamed[0]
+
+
+class TestParallelScan:
+    """The blocked worker-parallel scan vs the serial reference scan."""
+
+    @pytest.mark.parametrize("workers", [1, 2, 8])
+    @pytest.mark.parametrize("algorithm", ["paper", "jump-stay", "zos"])
+    def test_parallel_matches_serial_reference(self, workers, algorithm):
+        """Bit-identical per cell at every worker count, on every
+        workload generator the serial reference itself is certified on."""
+        for kind in sorted(WORKLOADS):
+            instance = WORKLOADS[kind]()
+            i, j = instance.overlapping_pairs()[0]
+            a = repro.build_schedule(instance.sets[i], instance.n, algorithm=algorithm)
+            b = repro.build_schedule(instance.sets[j], instance.n, algorithm=algorithm)
+            horizon = 4 * max(a.period, b.period)
+            serial = ttr_sweep_stream_serial(a, b, SHIFTS, horizon)
+            assert ttr_sweep_stream(a, b, SHIFTS, horizon, workers=workers) == serial
+
+    def test_parallel_matches_scalar_loop(self):
+        """The parallel scan also agrees with the independent scalar path."""
+        instance = single_overlap(32, 3, 4, seed=7)
+        a = repro.build_schedule(instance.sets[0], 32, algorithm="crseq")
+        b = repro.build_schedule(instance.sets[1], 32, algorithm="crseq")
+        shifts = list(range(-60, 200)) + [5 * a.period + 3, -2 * b.period - 7]
+        horizon = 4 * max(a.period, b.period)
+        assert ttr_sweep_stream(a, b, shifts, horizon, workers=4) == _scalar(
+            a, b, shifts, horizon
+        )
+
+    @pytest.mark.parametrize("block_rows", [1, 2, 3])
+    def test_blocks_smaller_than_one_tile(self, block_rows):
+        """Degenerate pinned plans — shift blocks far narrower than a
+        tile could hold, more blocks than workers — change nothing."""
+        instance = single_overlap(32, 3, 4, seed=9)
+        a = repro.build_schedule(instance.sets[0], 32, algorithm="jump-stay")
+        b = repro.build_schedule(instance.sets[1], 32, algorithm="jump-stay")
+        shifts = list(range(-40, 90))
+        horizon = 4 * max(a.period, b.period)
+        reference = ttr_sweep_stream_serial(a, b, shifts, horizon)
+        plan = TilePlan(tile_bytes=4096, block_rows=block_rows, workers=2)
+        assert ttr_sweep_stream(a, b, shifts, horizon, plan=plan) == reference
+
+    def test_worker_counts_beyond_blocks_are_harmless(self):
+        a, b = CyclicSchedule([1, 2, 3] * 30), CyclicSchedule([3, 1] * 20)
+        shifts = [0, 1, -1, 5]
+        expected = _scalar(a, b, shifts, 300)
+        assert ttr_sweep_stream(a, b, shifts, 300, workers=16) == expected
+
+    def test_serial_reference_rejects_bad_tile_budget(self):
+        a, b = CyclicSchedule([1, 2]), CyclicSchedule([2, 3])
+        with pytest.raises(ValueError, match="tile_bytes"):
+            ttr_sweep_stream_serial(a, b, [0], 10, tile_bytes=0)
+
+    def test_dispatcher_forwards_stream_workers(self):
+        """`batch.ttr_sweep(engine='stream', stream_workers=...)` is the
+        same computation at any lane count."""
+        instance = single_overlap(16, 3, 3, seed=2)
+        a = repro.build_schedule(instance.sets[0], 16, algorithm="zos")
+        b = repro.build_schedule(instance.sets[1], 16, algorithm="zos")
+        horizon = 4 * max(a.period, b.period)
+        one = batch.ttr_sweep(a, b, SHIFTS, horizon, engine="stream", stream_workers=1)
+        four = batch.ttr_sweep(a, b, SHIFTS, horizon, engine="stream", stream_workers=4)
+        assert one == four == ttr_sweep_stream_serial(a, b, SHIFTS, horizon)
+
+
+class TestChannelGather:
+    """The scattered-access hook every tile row assembly builds on."""
+
+    @pytest.mark.parametrize(
+        "algorithm", ["paper", "crseq", "jump-stay", "drds", "zos", "async-etch"]
+    )
+    def test_gather_matches_channel_at(self, algorithm):
+        schedule = repro.build_schedule([1, 5, 9], 16, algorithm=algorithm)
+        indices = np.array([[0, 7, 1], [13, 2, schedule.period + 5]], dtype=np.int64)
+        gathered = schedule.channel_gather(indices)
+        assert gathered.shape == indices.shape
+        expected = [
+            [schedule.channel_at(int(t) % schedule.period) for t in row]
+            for row in indices
+        ]
+        assert gathered.tolist() == expected
+
+    def test_generic_fallback_on_huge_periods(self):
+        period = batch.BATCH_TABLE_LIMIT + 3
+        sched = FunctionSchedule(lambda t: t % 5, period, channels=frozenset(range(5)))
+        indices = np.array([0, 3, 11, period - 1, period + 4], dtype=np.int64)
+        assert sched.channel_gather(indices).tolist() == [
+            sched.channel_at(int(t)) for t in indices
+        ]
+
+
+class TestTilePlanner:
+    """plan_tiles: deterministic, cache-aware, shape-aware."""
+
+    def test_same_inputs_same_plan(self):
+        first = plan_tiles(2000, 1 << 20, workers=4)
+        second = plan_tiles(2000, 1 << 20, workers=4)
+        assert first == second
+
+    def test_no_wall_clock_dependence(self, monkeypatch):
+        """The plan is pure arithmetic: poisoning every clock source
+        must not change (or crash) the planner."""
+        import time as time_module
+
+        def boom(*args, **kwargs):  # pragma: no cover - guard only
+            raise AssertionError("plan_tiles must not consult the clock")
+
+        for name in ("time", "perf_counter", "monotonic", "process_time"):
+            monkeypatch.setattr(time_module, name, boom)
+        assert plan_tiles(500, 10_000, workers=2) == plan_tiles(500, 10_000, workers=2)
+
+    def test_tile_from_l2_and_l3_budget(self):
+        # One lane: half of L2. Four lanes: additionally capped so all
+        # tiles together leave half the L3 free.
+        caches = (1 << 21, 1 << 22)  # 2 MiB L2, 4 MiB L3
+        solo = plan_tiles(10_000, 1 << 20, workers=1, caches=caches)
+        assert solo.tile_bytes == 1 << 20  # half the L2
+        four = plan_tiles(10_000, 1 << 20, workers=4, caches=caches)
+        assert four.tile_bytes == (1 << 21) // 4  # half the L3, split 4 ways
+        assert four.workers == 4
+
+    def test_explicit_tile_bytes_pins_budget(self):
+        plan = plan_tiles(100, 1000, workers=2, tile_bytes=4096)
+        assert plan.tile_bytes == 4096
+
+    def test_serial_blocks_fill_the_tile(self):
+        plan = plan_tiles(10_000, 1 << 20, workers=1, tile_bytes=1 << 20)
+        assert plan.block_rows == (1 << 20) // 8 // 256
+        assert plan.workers == 1
+
+    def test_parallel_blocks_split_for_load_balance(self):
+        plan = plan_tiles(1000, 1 << 20, workers=4, tile_bytes=1 << 20)
+        # 4 lanes x 4 blocks per lane -> ceil(1000 / 16) rows per block.
+        assert plan.block_rows == 63
+        assert plan.workers == 4
+
+    def test_workers_clamped_to_blocks(self):
+        plan = plan_tiles(3, 1000, workers=8, tile_bytes=1 << 20)
+        assert plan.workers <= 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="tile_bytes"):
+            plan_tiles(10, 100, tile_bytes=0)
+        with pytest.raises(ValueError, match="num_offsets"):
+            plan_tiles(-1, 100)
+        with pytest.raises(ValueError, match="tile_bytes"):
+            TilePlan(tile_bytes=0, block_rows=1, workers=1)
+        with pytest.raises(ValueError, match="block_rows"):
+            TilePlan(tile_bytes=64, block_rows=0, workers=1)
+        with pytest.raises(ValueError, match="workers"):
+            TilePlan(tile_bytes=64, block_rows=1, workers=0)
+
+    def test_cache_probe_is_memoized_and_sane(self):
+        l2, l3 = stream_module.cache_sizes()
+        assert stream_module.cache_sizes() == (l2, l3)
+        assert 0 < l2 <= l3

@@ -205,3 +205,59 @@ class TestSweepRunnerStore:
             inst, "random", (0, 1), horizon=100_000, dense=4, probes=4
         )
         assert again == expected
+
+
+class TestWorkerBudget:
+    """One worker budget, split across pairs vs within a pair."""
+
+    def test_big_jobs_give_processes_to_pairs(self):
+        engine = runner.SweepRunner(workers=4)
+        assert engine.worker_budget(runner.MIN_PARALLEL_PAIRS) == (4, 1)
+
+    def test_small_jobs_give_lanes_to_the_pair(self):
+        engine = runner.SweepRunner(workers=4)
+        assert engine.worker_budget(2) == (1, 4)
+        assert engine.worker_budget(1) == (1, 4)
+
+    def test_single_worker_budget_stays_serial(self):
+        engine = runner.SweepRunner(workers=1)
+        assert engine.worker_budget(100) == (1, 1)
+
+    def test_pinned_stream_workers_override_both_paths(self):
+        engine = runner.SweepRunner(workers=4, stream_workers=2)
+        assert engine.worker_budget(runner.MIN_PARALLEL_PAIRS) == (4, 2)
+        assert engine.worker_budget(2) == (1, 2)
+
+    def test_stream_workers_validated(self):
+        with pytest.raises(ValueError, match="stream_workers"):
+            runner.SweepRunner(workers=1, stream_workers=0)
+
+    def test_stream_lanes_do_not_change_measurements(self):
+        inst = random_subsets(16, 4, 3, seed=3)
+        pair = inst.overlapping_pairs()[0]
+        baseline = runner.SweepRunner(workers=1).measure_pair(
+            inst, "jump-stay", pair, horizon=200_000, dense=8, probes=8
+        )
+        laned = runner.SweepRunner(workers=1, stream_workers=4, engine="stream")
+        assert (
+            laned.measure_pair(
+                inst, "jump-stay", pair, horizon=200_000, dense=8, probes=8
+            )
+            == baseline
+        )
+
+    def test_measure_instance_budgets_lanes_serially(self):
+        """A small job on a multi-worker runner hands the budget to the
+        intra-pair scan — and the results stay bit-identical."""
+        inst = random_subsets(16, 4, 3, seed=3)  # below MIN_PARALLEL_PAIRS
+        serial = runner.SweepRunner(workers=1).measure_instance(
+            inst, "paper", horizon=60_000, dense=2, probes=2
+        )
+        budgeted = runner.SweepRunner(workers=4, engine="stream").measure_instance(
+            inst, "paper", horizon=60_000, dense=2, probes=2
+        )
+        laned_serial = runner.SweepRunner(workers=1, engine="stream").measure_instance(
+            inst, "paper", horizon=60_000, dense=2, probes=2
+        )
+        assert budgeted == laned_serial
+        assert budgeted == serial

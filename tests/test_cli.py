@@ -153,9 +153,10 @@ class TestSweepCommand:
         assert main(args + ["--engine", "stream", "--tile-bytes", "4096"]) == 0
         stream_out = capsys.readouterr().out
         assert "engine:    stream" in stream_out
-        # Identical measurements, modulo the engine banner line.
+        # Identical measurements, modulo the engine/knob banner lines.
+        banners = ("engine:", "tile bytes:", "stream workers:")
         strip = lambda text: [
-            line for line in text.splitlines() if not line.startswith("engine:")
+            line for line in text.splitlines() if not line.startswith(banners)
         ]
         assert strip(auto_out) == strip(stream_out)
 
@@ -263,3 +264,43 @@ class TestWalkCommand:
         out = capsys.readouterr().out
         assert code == 0
         assert "/" in out and "\\" in out
+
+
+class TestStreamTuningFlags:
+    def test_stream_workers_and_auto_tile_match_default(self, capsys):
+        args = [
+            "sweep", "--agents", "1,5/5,9/1,9", "--universe", "16",
+            "--dense", "4", "--probes", "4",
+        ]
+        assert main(args) == 0
+        default_out = capsys.readouterr().out
+        tuned = args + [
+            "--engine", "stream", "--stream-workers", "2", "--tile-bytes", "auto",
+        ]
+        assert main(tuned) == 0
+        tuned_out = capsys.readouterr().out
+        assert "stream workers: 2 per pair" in tuned_out
+        banners = ("engine:", "tile bytes:", "stream workers:")
+        strip = lambda text: [
+            line for line in text.splitlines() if not line.startswith(banners)
+        ]
+        assert strip(default_out) == strip(tuned_out)
+
+    def test_tile_bytes_rejects_garbage(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["sweep", "--agents", "1,2/2,3", "--universe", "8",
+                 "--tile-bytes", "huge"]
+            )
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["sweep", "--agents", "1,2/2,3", "--universe", "8",
+                 "--tile-bytes", "-4"]
+            )
+
+    def test_stream_workers_rejects_negative(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["sweep", "--agents", "1,2/2,3", "--universe", "8",
+                 "--stream-workers", "-2"]
+            )

@@ -72,9 +72,34 @@ class TestDocsExist:
         ):
             assert required in text, f"docs/API.md is missing {required!r}"
 
+    def test_tuning_doc_present(self):
+        text = (REPO_ROOT / "docs" / "TUNING.md").read_text()
+        for required in (
+            "Engine selection",
+            "auto-tuned tile plan",
+            "Intra-pair parallelism",
+            "Worker budgeting",
+            "stream-workers",
+            "tile-bytes",
+            "crossover",
+            "bit-identical",
+            "Worked invocations",
+            "BENCHMARKS.md",
+        ):
+            assert required in text, f"docs/TUNING.md is missing {required!r}"
+
+    def test_benchmarks_doc_links_tuning(self):
+        text = (REPO_ROOT / "docs" / "BENCHMARKS.md").read_text()
+        assert "TUNING.md" in text, "docs/BENCHMARKS.md does not link TUNING.md"
+
     def test_readme_links_docs_pages(self):
         readme = (REPO_ROOT / "README.md").read_text()
-        for page in ("docs/ARCHITECTURE.md", "docs/API.md", "docs/BENCHMARKS.md"):
+        for page in (
+            "docs/ARCHITECTURE.md",
+            "docs/API.md",
+            "docs/BENCHMARKS.md",
+            "docs/TUNING.md",
+        ):
             assert page in readme, f"README.md does not link {page}"
 
 

@@ -1,4 +1,4 @@
-"""Fail on missing docstrings in the core and sim layers.
+"""Fail on missing docstrings in the core, sim, baselines and analysis layers.
 
 Walks python sources and reports every public definition — module,
 class, function, or method — that lacks a docstring.  "Public" means
@@ -23,7 +23,12 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: The layers whose public surface docs/API.md documents.
-DEFAULT_TARGETS = ("src/repro/core", "src/repro/sim")
+DEFAULT_TARGETS = (
+    "src/repro/core",
+    "src/repro/sim",
+    "src/repro/baselines",
+    "src/repro/analysis",
+)
 
 
 def _is_public(name: str) -> bool:
