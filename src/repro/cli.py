@@ -11,6 +11,9 @@ numbers without writing Python:
     python -m repro sweep --agents ... --universe 64 --engine stream --tile-bytes 65536
     python -m repro sweep --agents ... --universe 64 --engine stream --stream-workers 4 --tile-bytes auto
     python -m repro sweep --agents ... --universe 64 --store-dir .schedules --store-cap 1000000
+    python -m repro sweep --agents ... --universe 64 --checkpoint-dir .ckpt --resume
+    python -m repro serve --a 3,17,40 --b 17,58 --universe 64 --results-dir .results
+    python -m repro serve --a ... --b ... --universe 64 --results-dir .results --json
     python -m repro store prewarm --agents ... --universe 64 --store-dir .schedules
     python -m repro store inspect --store-dir .schedules
     python -m repro store evict --store-dir .schedules --all
@@ -23,11 +26,14 @@ errors (argparse convention).
 from __future__ import annotations
 
 import argparse
+import json
 from collections.abc import Sequence
+from pathlib import Path
 
 import repro
 from repro.analysis import format_table, walk_plot
 from repro.core import bounds
+from repro.core.results import ResultStore, result_digest
 from repro.core.store import ScheduleStore
 from repro.core.verification import ttr_for_shift
 from repro.sim import Agent, Instance, Network, SweepRunner
@@ -161,6 +167,34 @@ def build_parser() -> argparse.ArgumentParser:
         "requires --store-dir",
     )
     sweep.add_argument(
+        "--read-root",
+        action="append",
+        default=None,
+        dest="read_roots",
+        metavar="DIR",
+        help="extra schedule-store root(s) consulted read-only before "
+        "building a table (repeatable); requires --store-dir",
+    )
+    sweep.add_argument(
+        "--results-dir",
+        default=None,
+        help="persistent result cache: repeat sweeps answer pair "
+        "measurements from disk instead of recomputing",
+    )
+    sweep.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="snapshot streaming-sweep progress here so an interrupted "
+        "sweep can resume; completed sweeps clean up after themselves",
+    )
+    sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from checkpoints left in --checkpoint-dir by an "
+        "interrupted run (without this flag stale checkpoints are "
+        "discarded and the sweep starts fresh)",
+    )
+    sweep.add_argument(
         "--engine",
         choices=("auto", "batched", "stream"),
         default="auto",
@@ -186,6 +220,46 @@ def build_parser() -> argparse.ArgumentParser:
         "(default) budgets automatically — all cores when the pair "
         "fan-out is serial, one lane per pair when --workers already "
         "saturates the cores",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="answer one pair's worst-TTR query from the result cache, "
+        "computing and storing on a miss",
+    )
+    serve.add_argument("--a", type=_parse_channels, required=True)
+    serve.add_argument("--b", type=_parse_channels, required=True)
+    serve.add_argument("--universe", type=int, required=True)
+    serve.add_argument("--algorithm", choices=_ALGORITHMS, default="paper")
+    serve.add_argument("--horizon", type=int, default=1_000_000)
+    serve.add_argument("--dense", type=int, default=64)
+    serve.add_argument("--probes", type=int, default=64)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument(
+        "--results-dir",
+        required=True,
+        help="result-cache directory (created if missing); repeat "
+        "queries under the same directory are served from disk",
+    )
+    serve.add_argument(
+        "--store-dir",
+        default=None,
+        help="optional schedule store backing cold computes",
+    )
+    serve.add_argument(
+        "--read-root",
+        action="append",
+        default=None,
+        dest="read_roots",
+        metavar="DIR",
+        help="extra schedule-store root(s) consulted read-only "
+        "(repeatable); requires --store-dir",
+    )
+    serve.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit the answer as one JSON object instead of plain text",
     )
 
     store = sub.add_parser(
@@ -292,19 +366,34 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.store_cap is not None and args.store_dir is None:
         print("sweep failed: --store-cap requires --store-dir")
         return 2
+    if args.read_roots and args.store_dir is None:
+        print("sweep failed: --read-root requires --store-dir")
+        return 2
+    if args.resume and args.checkpoint_dir is None:
+        print("sweep failed: --resume requires --checkpoint-dir")
+        return 2
+    if args.checkpoint_dir is not None and args.engine == "batched":
+        print("sweep failed: --checkpoint-dir needs the streaming engine")
+        return 2
     store = None
     if args.store_dir is not None:
-        store = (
-            ScheduleStore(args.store_dir)
-            if args.store_cap is None
-            else ScheduleStore(args.store_dir, memory_cap=args.store_cap)
-        )
+        store_kwargs = {"read_roots": args.read_roots or ()}
+        if args.store_cap is not None:
+            store_kwargs["memory_cap"] = args.store_cap
+        store = ScheduleStore(args.store_dir, **store_kwargs)
+    if args.checkpoint_dir is not None and not args.resume:
+        # A fresh (non---resume) run must not silently adopt another
+        # run's partial progress: discard whatever snapshots remain.
+        for stale in Path(args.checkpoint_dir).glob("*.ckpt.json"):
+            stale.unlink()
     runner = SweepRunner(
         workers=args.workers or None,
         store=store,
         engine=args.engine,
         tile_bytes=args.tile_bytes,
         stream_workers=args.stream_workers or None,
+        results=args.results_dir,
+        checkpoint_dir=args.checkpoint_dir,
     )
     try:
         instance = Instance(
@@ -361,6 +450,83 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             f"{s['attaches']} attached, {s['entries']} entries "
             f"({s['total_bytes'] / 1024:.0f} KiB)"
         )
+    if runner.results is not None:
+        print(_result_cache_line(runner.results))
+    return 0
+
+
+def _result_cache_line(results: ResultStore) -> str:
+    """One-line counter summary of a result cache, shared by handlers."""
+    r = results.stats()
+    return (
+        f"result cache {results.store_dir}: {r['hits']} hits, "
+        f"{r['misses']} misses, {r['writes']} writes, "
+        f"{r['entries']} entries ({r['total_bytes'] / 1024:.1f} KiB)"
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.read_roots and args.store_dir is None:
+        print("serve failed: --read-root requires --store-dir")
+        return 2
+    results = ResultStore(args.results_dir)
+    store = None
+    if args.store_dir is not None:
+        store = ScheduleStore(args.store_dir, read_roots=args.read_roots or ())
+    runner = SweepRunner(workers=1, store=store, results=results)
+    instance = Instance(
+        args.universe, [frozenset(args.a), frozenset(args.b)], "serve"
+    )
+    hits_before = results.hits
+    try:
+        measured = runner.measure_pair(
+            instance,
+            args.algorithm,
+            (0, 1),
+            args.horizon,
+            dense=args.dense,
+            probes=args.probes,
+            seed=args.seed,
+        )
+    except (AssertionError, ValueError) as exc:
+        print(f"serve failed: {exc}")
+        return 1
+    source = "cache hit" if results.hits > hits_before else "computed"
+    query = runner.pair_query_for(
+        instance, args.algorithm, (0, 1), args.horizon,
+        dense=args.dense, probes=args.probes, seed=args.seed,
+    )
+    if args.as_json:
+        print(
+            json.dumps(
+                {
+                    "digest": result_digest(query),
+                    "query": query,
+                    "worst_ttr": measured.worst_ttr,
+                    "stats": {
+                        "count": measured.stats.count,
+                        "mean": measured.stats.mean,
+                        "median": measured.stats.median,
+                        "p95": measured.stats.p95,
+                        "maximum": measured.stats.maximum,
+                        "minimum": measured.stats.minimum,
+                    },
+                    "source": source,
+                    "cache": results.stats(),
+                },
+                sort_keys=True,
+            )
+        )
+        return 0
+    common = sorted(frozenset(args.a) & frozenset(args.b))
+    print(f"algorithm: {args.algorithm}")
+    print(f"common channels: {common}")
+    print(f"worst TTR: {measured.worst_ttr} slots (source: {source})")
+    print(
+        f"mean {measured.stats.mean:.2f}, p95 {measured.stats.p95:.2f} "
+        f"over {measured.stats.count} shifts"
+    )
+    print(_result_cache_line(results))
     return 0
 
 
@@ -441,6 +607,7 @@ _HANDLERS = {
     "bound": _cmd_bound,
     "simulate": _cmd_simulate,
     "sweep": _cmd_sweep,
+    "serve": _cmd_serve,
     "store": _cmd_store,
     "walk": _cmd_walk,
 }

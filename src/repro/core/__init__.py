@@ -34,8 +34,13 @@ stream
     (``plan_tiles``) and a single-threaded reference scan.
 store
     Shared-memory schedule store: period tables materialized once as
-    read-only memmaps and attached by every sweep process; also shares
-    the global DRDS sequence across channel sets.
+    read-only memmaps and attached by every sweep process (sharded
+    digest-prefix layout, multi-root read path); also shares the
+    global DRDS sequence across channel sets.
+results
+    Persistent result cache: whole sweep measurements keyed by a
+    content digest of their engine-invariant inputs, served back in
+    microseconds — the database layer behind ``python -m repro serve``.
 """
 
 from repro.core.epoch import EpochSchedule, rendezvous_bound
@@ -51,7 +56,9 @@ from repro.core.schedule import (
     FunctionSchedule,
     Schedule,
 )
+from repro.core.results import ResultStore
 from repro.core.store import ScheduleStore, StoredSchedule
+from repro.core.stream import SweepCheckpoint
 from repro.core.symmetric import SymmetricWrappedSchedule
 
 __all__ = [
@@ -68,4 +75,6 @@ __all__ = [
     "SymmetricWrappedSchedule",
     "ScheduleStore",
     "StoredSchedule",
+    "ResultStore",
+    "SweepCheckpoint",
 ]

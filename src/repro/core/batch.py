@@ -49,7 +49,13 @@ from repro.core import schedule as _schedule
 from repro.core import stream as _stream
 from repro.core.schedule import Schedule
 
-__all__ = ["ttr_sweep", "BATCH_TABLE_LIMIT", "SCALAR_JOINT_LIMIT", "ENGINES"]
+__all__ = [
+    "ttr_sweep",
+    "BATCH_TABLE_LIMIT",
+    "SCALAR_JOINT_LIMIT",
+    "STRIDED_DISPATCH_FACTOR",
+    "ENGINES",
+]
 
 # Largest period (slots) worth materializing as a full table; beyond it
 # the streaming tiled engine takes over.  Shares the schedule cache
@@ -65,6 +71,15 @@ SCALAR_JOINT_LIMIT = 64
 #: Valid values for the ``engine`` selector.
 ENGINES = ("auto", "batched", "stream", "scalar")
 
+#: Auto-dispatch shape test: a sweep is "one-shot strided" when its
+#: shift count times this factor still undershoots the larger period —
+#: the batched engine would then spend its time materializing and
+#: tiling period tables whose rows the sweep never touches, and the
+#: streaming engine wins (``docs/TUNING.md``, engine-selection table).
+#: Only applies when a table is actually cold; warm tables make the
+#: batched path's setup free, so reuse wins.
+STRIDED_DISPATCH_FACTOR = 64
+
 _INITIAL_TIME_BLOCK = 256
 
 
@@ -77,6 +92,7 @@ def ttr_sweep(
     engine: str = "auto",
     tile_bytes: int | None = None,
     stream_workers: int | None = None,
+    checkpoint: _stream.SweepCheckpoint | None = None,
 ) -> dict[int, int | None]:
     """TTR for every relative shift, in one batched or streamed pass.
 
@@ -89,16 +105,25 @@ def ttr_sweep(
     peak memory.
 
     ``engine`` selects the execution path (see :data:`ENGINES`):
-    ``"auto"`` — the default — dispatches three ways on period size
-    (scalar loop for tiny joint periods, the batched table path up to
-    ``BATCH_TABLE_LIMIT``, the streaming tiled engine of
-    :mod:`repro.core.stream` beyond it); the explicit names force one
-    path.  ``tile_bytes`` pins the streaming tile budget and
+    ``"auto"`` — the default — dispatches on period size *and* sweep
+    shape: the scalar loop for tiny joint periods, the streaming tiled
+    engine of :mod:`repro.core.stream` beyond ``BATCH_TABLE_LIMIT``
+    and for one-shot strided sweeps under it (a cold table whose period
+    dwarfs the shift count by :data:`STRIDED_DISPATCH_FACTOR` — table
+    materialization would dominate), and the batched table path
+    otherwise (tables warm or worth building); the explicit names force
+    one path.  ``tile_bytes`` pins the streaming tile budget and
     ``stream_workers`` the streaming engine's intra-pair thread lanes
     (both ``None`` by default: the auto-tuner sizes tiles from the
     machine's cache topology and uses one lane per CPU — see
     :func:`repro.core.stream.plan_tiles` and ``docs/TUNING.md``).  All
     engines return bit-identical results.
+
+    ``checkpoint`` attaches a
+    :class:`~repro.core.stream.SweepCheckpoint` for a resumable scan;
+    checkpointing is a streaming-engine feature, so ``"auto"`` then
+    dispatches straight to the stream path and forcing any other
+    engine raises ``ValueError``.
 
     Either side may be a raw 1-D period array instead of a
     :class:`~repro.core.schedule.Schedule` — e.g. a read-only memmap
@@ -109,6 +134,10 @@ def ttr_sweep(
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+    if checkpoint is not None and engine not in ("auto", "stream"):
+        raise ValueError(
+            f"checkpointing needs the streaming engine, got engine={engine!r}"
+        )
     a = _coerce_schedule(a)
     b = _coerce_schedule(b)
     shift_list = [int(s) for s in shifts]
@@ -118,12 +147,16 @@ def ttr_sweep(
         return {s: None for s in shift_list}
     joint = math.lcm(a.period, b.period)
     if engine == "auto":
-        if joint <= SCALAR_JOINT_LIMIT:
-            engine = "scalar"
-        elif a.period <= BATCH_TABLE_LIMIT and b.period <= BATCH_TABLE_LIMIT:
-            engine = "batched"
-        else:
+        if checkpoint is not None:
             engine = "stream"
+        elif joint <= SCALAR_JOINT_LIMIT:
+            engine = "scalar"
+        elif a.period > BATCH_TABLE_LIMIT or b.period > BATCH_TABLE_LIMIT:
+            engine = "stream"
+        elif _one_shot_strided(a, b, len(shift_list)):
+            engine = "stream"
+        else:
+            engine = "batched"
     if engine == "scalar":
         # The joint pattern repeats every lcm slots, so capping the
         # scalar scan there preserves every answer (including misses).
@@ -136,6 +169,7 @@ def ttr_sweep(
             horizon,
             tile_bytes=tile_bytes,
             workers=stream_workers,
+            checkpoint=checkpoint,
         )
     if a.period > BATCH_TABLE_LIMIT or b.period > BATCH_TABLE_LIMIT:
         raise ValueError(
@@ -176,6 +210,21 @@ def _coerce_schedule(x: Schedule | np.ndarray) -> Schedule:
     from repro.core.store import coerce_schedule
 
     return coerce_schedule(x)
+
+
+def _one_shot_strided(a: Schedule, b: Schedule, num_shifts: int) -> bool:
+    """Whether a storable-period sweep should stream anyway.
+
+    True when at least one period table is cold (building it costs a
+    full pass over the period) *and* the sweep is strided — the shift
+    count times :data:`STRIDED_DISPATCH_FACTOR` undershoots the larger
+    period, so the table rows mostly go unread.  Warm tables
+    (:meth:`~repro.core.schedule.Schedule.has_warm_table`) tip the
+    balance back: their reuse makes the batched setup free.
+    """
+    if a.has_warm_table() and b.has_warm_table():
+        return False
+    return num_shifts * STRIDED_DISPATCH_FACTOR <= max(a.period, b.period)
 
 
 def _scalar_sweep(

@@ -145,6 +145,17 @@ class Schedule:
             self._period_array_cache = array
         return array
 
+    def has_warm_table(self) -> bool:
+        """Whether :meth:`period_table` is already materialized.
+
+        ``True`` means the next ``period_table()`` call is free (the
+        cached array, a wrapped sequence, or a store memmap); ``False``
+        means it would pay a full pass over the period.  The engine
+        dispatcher (:func:`repro.core.batch.ttr_sweep`) uses this to
+        weigh table reuse against a one-shot streamed scan.
+        """
+        return getattr(self, "_period_array_cache", None) is not None
+
     def _compute_period_array(self) -> np.ndarray:
         return np.fromiter(
             (self.channel_at(t) for t in range(self.period)),
@@ -171,6 +182,10 @@ class CyclicSchedule(Schedule):
         """Channel at slot ``t``: the sequence read cyclically."""
         return int(self._sequence[t % self.period])
 
+    def has_warm_table(self) -> bool:
+        """Always ``True``: the wrapped sequence *is* the period table."""
+        return True
+
     def _period_array(self) -> np.ndarray:
         return self._sequence
 
@@ -186,6 +201,10 @@ class ConstantSchedule(Schedule):
     def channel_at(self, t: int) -> int:
         """The constant channel, at every slot."""
         return self._channel
+
+    def has_warm_table(self) -> bool:
+        """Always ``True``: a one-slot table costs nothing to produce."""
+        return True
 
     def channel_block(self, start: int, stop: int) -> np.ndarray:
         """The constant channel, broadcast over the window."""

@@ -36,6 +36,13 @@ Contracts
 * Writes are atomic (temp file + ``os.replace``), so concurrent
   builders of the same key race benignly: last writer wins, both
   results are identical.
+* The on-disk layout is **sharded**: tables live in digest-prefix
+  subdirectories (``ab/<digest>.npy``) so no single directory listing
+  grows unbounded, and legacy flat stores (``<digest>.npy`` in the
+  root) keep attaching.  Extra ``read_roots`` form a multi-root read
+  path — several hosts/processes can share one warm corpus (say, a
+  read-only network mount) while each writes only its own primary
+  root.
 * The *global* DRDS sequence (one per universe size, shared by every
   channel set) is stored once as its own entry
   (:data:`GLOBAL_SEQUENCE_ALGORITHM`) and per-set DRDS tables are
@@ -70,6 +77,7 @@ __all__ = [
     "DEFAULT_MEMORY_CAP",
     "STORE_PERIOD_LIMIT",
     "GLOBAL_SEQUENCE_ALGORITHM",
+    "SHARD_PREFIX_LEN",
 ]
 
 #: Default cap on the total bytes of period tables kept in a store.
@@ -83,6 +91,12 @@ STORE_PERIOD_LIMIT = _CACHE_LIMIT
 #: Pseudo-algorithm name under which the global DRDS sequence (one per
 #: universe size, independent of any channel set) is stored.
 GLOBAL_SEQUENCE_ALGORITHM = "drds-global"
+
+#: Hex digits of the digest that name a shard subdirectory.  Two digits
+#: spread a large corpus over at most 256 directories, so no single
+#: directory's listing grows unbounded — the layout several hosts can
+#: rsync/NFS-share without directory-size pathologies.
+SHARD_PREFIX_LEN = 2
 
 
 def store_key(
@@ -192,6 +206,10 @@ class StoredSchedule(Schedule):
         indices = np.asarray(indices, dtype=np.int64)
         return self._table[indices % self.period]
 
+    def has_warm_table(self) -> bool:
+        """Always ``True``: the wrapped array *is* the period table."""
+        return True
+
     def _period_array(self) -> np.ndarray:
         return self._table
 
@@ -216,25 +234,38 @@ class ScheduleStore:
     Parameters
     ----------
     store_dir:
-        Directory holding the ``<digest>.npy`` tables and their
-        ``<digest>.json`` metadata; created if missing.  Handing the
+        Primary root.  Tables land in digest-prefix shard
+        subdirectories (``<digest[:2]>/<digest>.npy`` plus a
+        ``.json`` metadata sidecar); created if missing.  Handing the
         same path to another process (or another ``ScheduleStore``)
-        attaches the same tables.
+        attaches the same tables.  Pre-shard stores that kept
+        ``<digest>.npy`` flat in the root keep working: the read path
+        checks the sharded location first and falls back to the legacy
+        flat one.
     memory_cap:
         Soft cap in bytes on the total size of stored tables; storing a
         table that would exceed it evicts least-recently-attached
         entries first.
+    read_roots:
+        Extra store roots searched (sharded layout, then legacy flat)
+        when the primary misses — the multi-root read path that lets
+        several hosts or jobs share one warm corpus (e.g. a read-only
+        NFS mount) while writing locally.  Never written, never
+        evicted, not listed by :meth:`entries`; builds always land in
+        the primary root.
     """
 
     def __init__(
         self,
         store_dir: str | os.PathLike,
         memory_cap: int = DEFAULT_MEMORY_CAP,
+        read_roots: Iterable[str | os.PathLike] = (),
     ):
         if memory_cap <= 0:
             raise ValueError(f"memory_cap must be positive, got {memory_cap}")
         self.store_dir = Path(store_dir)
         self.store_dir.mkdir(parents=True, exist_ok=True)
+        self.read_roots = tuple(Path(root) for root in read_roots)
         self.memory_cap = int(memory_cap)
         self.builds = 0
         self.attaches = 0
@@ -262,8 +293,7 @@ class ScheduleStore:
         """
         key = store_key(channels, n, algorithm, seed)
         digest = key_digest(key)
-        path = self._table_path(digest)
-        attached = self._try_attach(path, key[0])
+        attached = self._try_attach(self._find_table(digest), key[0])
         if attached is not None:
             return attached
 
@@ -277,7 +307,7 @@ class ScheduleStore:
             return schedule
         self._write(digest, key, table)
         self.builds += 1
-        attached = self._try_attach(path, key[0], count=False)
+        attached = self._try_attach(self._table_path(digest), key[0], count=False)
         if attached is not None:
             return attached
         # Evicted by a concurrent process in the write-to-open window:
@@ -291,10 +321,15 @@ class ScheduleStore:
         algorithm: str,
         seed: int = 0,
     ) -> bool:
-        """Whether the table for this key is currently materialized."""
-        return self._table_path(
-            key_digest(store_key(channels, n, algorithm, seed))
-        ).exists()
+        """Whether the table for this key is currently materialized.
+
+        Checks the primary root (sharded and legacy flat layouts) and
+        every extra read root.
+        """
+        return (
+            self._find_table(key_digest(store_key(channels, n, algorithm, seed)))
+            is not None
+        )
 
     def global_sequence(self, n: int) -> np.ndarray:
         """The global DRDS channel sequence for universe ``n``, shared.
@@ -319,8 +354,7 @@ class ScheduleStore:
             return cached
         key = store_key((), n, GLOBAL_SEQUENCE_ALGORITHM)
         digest = key_digest(key)
-        path = self._table_path(digest)
-        attached = self._attach_array(path)
+        attached = self._attach_array(self._find_table(digest))
         if attached is not None:
             self.global_attaches += 1
             self._globals[n] = attached
@@ -338,7 +372,7 @@ class ScheduleStore:
             return sequence
         self._write(digest, key, sequence)
         self.global_builds += 1
-        attached = self._attach_array(path)
+        attached = self._attach_array(self._table_path(digest))
         self._globals[n] = sequence if attached is None else attached
         return self._globals[n]
 
@@ -349,10 +383,16 @@ class ScheduleStore:
 
         Each entry carries ``digest``, ``algorithm``, ``n``, ``seed``,
         ``channels``, ``period``, ``nbytes`` and ``last_used`` (the
-        table file's mtime, refreshed on every attach).
+        table file's mtime, refreshed on every attach).  Lists the
+        *primary* root only — both the sharded layout and legacy flat
+        files — since that is the capacity/eviction domain; extra read
+        roots belong to whoever owns them.
         """
         rows = []
-        for meta_path in sorted(self.store_dir.glob("*.json")):
+        meta_paths = sorted(self.store_dir.glob("*.json")) + sorted(
+            self.store_dir.glob(f"{'[0-9a-f]' * SHARD_PREFIX_LEN}/*.json")
+        )
+        for meta_path in meta_paths:
             table_path = meta_path.with_suffix(".npy")
             if not table_path.exists():
                 continue
@@ -389,12 +429,20 @@ class ScheduleStore:
     def evict(self, digest: str) -> bool:
         """Drop one stored table by digest; returns whether it existed.
 
-        Already-attached memmaps stay valid (the mapping holds the
-        pages); only future ``get`` calls rebuild.
+        Covers both the sharded and legacy flat layouts of the primary
+        root; read roots are never touched.  Already-attached memmaps
+        stay valid (the mapping holds the pages); only future ``get``
+        calls rebuild.
         """
-        existed = self._table_path(digest).exists()
-        self._table_path(digest).unlink(missing_ok=True)
-        self._meta_path(digest).unlink(missing_ok=True)
+        existed = False
+        for table_path in (
+            self._table_path(digest),
+            self.store_dir / f"{digest}.npy",
+        ):
+            if table_path.exists():
+                existed = True
+            table_path.unlink(missing_ok=True)
+            table_path.with_suffix(".json").unlink(missing_ok=True)
         if existed:
             self.evictions += 1
         return existed
@@ -425,22 +473,30 @@ class ScheduleStore:
             return DRDSSchedule(channels, n, global_sequence=self.global_sequence(n))
         return build_plain(channels, n, algorithm, seed)
 
-    def _attach_array(self, path: Path) -> np.ndarray | None:
+    def _attach_array(self, path: Path | None) -> np.ndarray | None:
         """mmap one stored table read-only, or None if it is (or just
         became) absent — a concurrent eviction between the existence
         check and the open must fall through to the build path, not
         raise."""
-        if not path.exists():
+        if path is None or not path.exists():
             return None
         try:
             table = np.load(path, mmap_mode="r")
-            os.utime(path)  # refresh LRU position
         except OSError:
             return None
+        # Refresh the LRU position *after* the attach succeeded, and
+        # tolerate failure separately: on a read-only root (or when a
+        # concurrent eviction wins the race) the timestamp cannot be
+        # updated, but the mapping is live and the attach stands —
+        # discarding it here would silently rebuild a warm table.
+        try:
+            os.utime(path)
+        except OSError:
+            pass
         return table
 
     def _try_attach(
-        self, path: Path, channels: frozenset[int], count: bool = True
+        self, path: Path | None, channels: frozenset[int], count: bool = True
     ) -> StoredSchedule | None:
         """Attach one per-set table as a schedule view; None if absent."""
         table = self._attach_array(path)
@@ -451,10 +507,28 @@ class ScheduleStore:
         return StoredSchedule(table, channels)
 
     def _table_path(self, digest: str) -> Path:
-        return self.store_dir / f"{digest}.npy"
+        """Primary-root write location: the digest-prefix shard subdir."""
+        return self.store_dir / digest[:SHARD_PREFIX_LEN] / f"{digest}.npy"
 
     def _meta_path(self, digest: str) -> Path:
-        return self.store_dir / f"{digest}.json"
+        return self._table_path(digest).with_suffix(".json")
+
+    def _find_table(self, digest: str) -> Path | None:
+        """Locate one table across roots and layouts, or None.
+
+        Search order: primary root sharded, primary root legacy flat,
+        then each extra read root (sharded, then flat).  First match
+        wins — a table promoted into the primary root shadows the same
+        digest in any read root.
+        """
+        for root in (self.store_dir, *self.read_roots):
+            for candidate in (
+                root / digest[:SHARD_PREFIX_LEN] / f"{digest}.npy",
+                root / f"{digest}.npy",
+            ):
+                if candidate.exists():
+                    return candidate
+        return None
 
     def _ensure_capacity(self, incoming: int) -> bool:
         """Make room for ``incoming`` bytes; False if it can never fit."""
@@ -476,7 +550,9 @@ class ScheduleStore:
     ) -> None:
         """Atomically persist one table and its metadata sidecar."""
         channels, n, algorithm, seed = key
-        fd, tmp = tempfile.mkstemp(dir=self.store_dir, suffix=".npy.tmp")
+        shard_dir = self._table_path(digest).parent
+        shard_dir.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=shard_dir, suffix=".npy.tmp")
         try:
             with os.fdopen(fd, "wb") as handle:
                 np.save(handle, table)
@@ -493,7 +569,7 @@ class ScheduleStore:
             "period": int(table.size),
             "nbytes": int(table.nbytes),
         }
-        fd, tmp = tempfile.mkstemp(dir=self.store_dir, suffix=".json.tmp")
+        fd, tmp = tempfile.mkstemp(dir=shard_dir, suffix=".json.tmp")
         try:
             with os.fdopen(fd, "w") as handle:
                 json.dump(meta, handle, indent=2)

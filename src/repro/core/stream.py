@@ -61,11 +61,16 @@ every workload generator.  Tuning guidance lives in ``docs/TUNING.md``.
 from __future__ import annotations
 
 import functools
+import hashlib
+import json
 import math
 import os
+import tempfile
+import threading
 from collections.abc import Iterable
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
@@ -80,6 +85,7 @@ __all__ = [
     "TilePlan",
     "plan_tiles",
     "cache_sizes",
+    "SweepCheckpoint",
     "DEFAULT_TILE_BYTES",
 ]
 
@@ -246,6 +252,169 @@ def plan_tiles(
     )
 
 
+#: Sentinel in a checkpoint's ``resolved`` arrays for a shift row whose
+#: first-meet scan has not finished (``-1`` is a certified miss; ``>= 0``
+#: a hit).  Never escapes into sweep results.
+_UNRESOLVED = -2
+
+
+class SweepCheckpoint:
+    """Checkpoint sink for resumable streaming sweeps.
+
+    Attach one to :func:`ttr_sweep_stream` (or
+    :func:`repro.core.batch.ttr_sweep` with ``checkpoint=``) and the
+    scan snapshots its state to ``path`` at time-block boundaries:
+    every retired shift row's final TTR (or certified miss) plus the
+    resume cursor — the time frontier each still-live row has been
+    scanned to.  Re-running the same sweep with the same sink then
+    *resumes*: retired rows are answered from the snapshot, live rows
+    rescan only from (at most) their recorded frontier, and the merged
+    profile is bit-identical to an uninterrupted run — first-meet
+    results are invariant under where the scan was cut.
+
+    The snapshot is keyed by a spec digest (periods, deduped offset
+    pairs, effective horizon); a snapshot from a *different* sweep is
+    ignored and overwritten, never merged.  Saves are atomic (temp file
+    plus ``os.replace``), so a kill mid-save leaves the previous valid
+    snapshot.  ``interval_blocks`` sets the save cadence: a snapshot
+    every that many time-block boundaries (``1``: every boundary —
+    maximal resumability, maximal I/O).  ``saves`` counts snapshots
+    actually written; ``clear()`` deletes the file (the runner calls it
+    after a sweep completes).
+    """
+
+    def __init__(self, path: str | os.PathLike, interval_blocks: int = 1):
+        if interval_blocks <= 0:
+            raise ValueError(
+                f"interval_blocks must be positive, got {interval_blocks}"
+            )
+        self.path = Path(path)
+        self.interval_blocks = int(interval_blocks)
+        self.saves = 0
+
+    def load(self) -> dict | None:
+        """The last snapshot, or ``None`` when absent or unreadable."""
+        try:
+            state = json.loads(self.path.read_text())
+        except (OSError, ValueError):
+            return None
+        return state if isinstance(state, dict) else None
+
+    def save(self, state: dict) -> None:
+        """Atomically persist one snapshot (temp file + ``os.replace``)."""
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.path.parent, suffix=".ckpt.tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(state, handle)
+            os.replace(tmp, self.path)
+        except BaseException:
+            Path(tmp).unlink(missing_ok=True)
+            raise
+        self.saves += 1
+
+    def clear(self) -> None:
+        """Delete the snapshot file (a completed sweep needs no resume)."""
+        self.path.unlink(missing_ok=True)
+
+
+def _sweep_spec(a: Schedule, b: Schedule, unique_pairs: np.ndarray, horizon: int) -> str:
+    """Digest identifying one sweep's work items for checkpoint matching."""
+    digest = hashlib.sha256()
+    digest.update(f"{a.period}|{b.period}|{horizon}|".encode())
+    digest.update(np.ascontiguousarray(unique_pairs, dtype=np.int64).tobytes())
+    return digest.hexdigest()[:32]
+
+
+class _CheckpointRecorder:
+    """Shared, lock-guarded sweep state behind one checkpoint sink.
+
+    Owns the per-sign-group ``resolved`` / ``frontier`` arrays that a
+    snapshot serializes.  ``update`` is called from scan lanes at every
+    time-block boundary — the lock makes the read-modify-save atomic
+    across thread lanes, and blocks own disjoint rows so updates never
+    conflict on array contents, only on the save.
+    """
+
+    def __init__(
+        self,
+        sink: SweepCheckpoint,
+        spec: str,
+        sizes: dict[int, int],
+        prior: dict | None,
+    ):
+        self._sink = sink
+        self._spec = spec
+        self._lock = threading.Lock()
+        self._ticks = 0
+        self._groups = {
+            gid: {
+                "resolved": np.full(size, _UNRESOLVED, dtype=np.int64),
+                "frontier": np.zeros(size, dtype=np.int64),
+            }
+            for gid, size in sizes.items()
+        }
+        if prior is not None and prior.get("spec") == spec:
+            for gid, size in sizes.items():
+                stored = prior.get("groups", {}).get(str(gid))
+                if not isinstance(stored, dict):
+                    continue
+                resolved = stored.get("resolved")
+                frontier = stored.get("frontier")
+                if (
+                    isinstance(resolved, list)
+                    and isinstance(frontier, list)
+                    and len(resolved) == size
+                    and len(frontier) == size
+                ):
+                    group = self._groups[gid]
+                    group["resolved"] = np.asarray(resolved, dtype=np.int64)
+                    group["frontier"] = np.asarray(frontier, dtype=np.int64)
+
+    def seed(self, gid: int) -> tuple[np.ndarray, np.ndarray]:
+        """Copies of one group's ``(resolved, frontier)`` resume state."""
+        with self._lock:
+            group = self._groups[gid]
+            return group["resolved"].copy(), group["frontier"].copy()
+
+    def update(
+        self,
+        gid: int,
+        done_rows: np.ndarray,
+        done_vals: np.ndarray,
+        live_rows: np.ndarray,
+        frontier: int,
+    ) -> None:
+        """Record one time-block boundary; snapshot on cadence.
+
+        ``done_rows`` retire with final values ``done_vals`` (TTR or
+        ``-1`` miss); ``live_rows`` advance their frontier to
+        ``frontier``.  Every ``interval_blocks``-th call writes a
+        snapshot through the sink.
+        """
+        with self._lock:
+            group = self._groups[gid]
+            if done_rows.size:
+                group["resolved"][done_rows] = done_vals
+            if live_rows.size:
+                group["frontier"][live_rows] = frontier
+            self._ticks += 1
+            if self._ticks % self._sink.interval_blocks == 0:
+                self._sink.save(self._serialize())
+
+    def _serialize(self) -> dict:
+        return {
+            "spec": self._spec,
+            "groups": {
+                str(gid): {
+                    "resolved": group["resolved"].tolist(),
+                    "frontier": group["frontier"].tolist(),
+                }
+                for gid, group in sorted(self._groups.items())
+            },
+        }
+
+
 def ttr_sweep_stream(
     a: Schedule | np.ndarray,
     b: Schedule | np.ndarray,
@@ -254,6 +423,7 @@ def ttr_sweep_stream(
     tile_bytes: int | None = None,
     workers: int | None = None,
     plan: TilePlan | None = None,
+    checkpoint: SweepCheckpoint | None = None,
 ) -> dict[int, int | None]:
     """TTR for every relative shift, streamed in worker-parallel tiles.
 
@@ -277,6 +447,12 @@ def ttr_sweep_stream(
     read-only memmap attached from a
     :class:`~repro.core.store.ScheduleStore`) — tiles are then sliced
     straight off the array, which for a memmap means straight off disk.
+
+    ``checkpoint`` attaches a :class:`SweepCheckpoint` sink: the scan
+    snapshots retired rows plus each live row's time frontier at block
+    boundaries, and a rerun against an existing snapshot of the *same*
+    sweep resumes instead of restarting — resumed profiles are
+    bit-identical to uninterrupted ones (certified in tier-1 tests).
     """
     if tile_bytes is not None and tile_bytes <= 0:
         raise ValueError(f"tile_bytes must be positive, got {tile_bytes}")
@@ -294,7 +470,16 @@ def ttr_sweep_stream(
     # profiled separately with the zero side as the broadcast row.
     ttrs = np.empty(len(unique_pairs), dtype=np.int64)
     negative = unique_pairs[:, 1] != 0
-    for group, var, fixed, column in ((~negative, a, b, 0), (negative, b, a, 1)):
+    recorder = None
+    if checkpoint is not None:
+        recorder = _CheckpointRecorder(
+            checkpoint,
+            _sweep_spec(a, b, unique_pairs, effective),
+            {0: int((~negative).sum()), 1: int(negative.sum())},
+            checkpoint.load(),
+        )
+    groups = ((~negative, a, b, 0), (negative, b, a, 1))
+    for gid, (group, var, fixed, column) in enumerate(groups):
         if not group.any():
             continue
         group_plan = plan
@@ -303,7 +488,8 @@ def ttr_sweep_stream(
                 int(group.sum()), effective, workers=workers, tile_bytes=tile_bytes
             )
         ttrs[group] = _stream_offsets(
-            var, fixed, unique_pairs[group, column], effective, group_plan
+            var, fixed, unique_pairs[group, column], effective, group_plan,
+            recorder=recorder, gid=gid,
         )
     return scatter_ttrs(shift_list, ttrs, inverse)
 
@@ -457,6 +643,9 @@ def _scan_block(
     cells: int,
     fixed_rows: _FixedRowCache,
     result: np.ndarray,
+    start: int = 0,
+    recorder: _CheckpointRecorder | None = None,
+    gid: int = 0,
 ) -> None:
     """First-meet scan of one independent shift block.
 
@@ -464,10 +653,14 @@ def _scan_block(
     offset); the scan writes only those rows of ``result``, so blocks
     compose race-free across thread lanes.  Per-row semantics are
     identical to the serial reference scan: geometric time-block
-    growth, first-meet retirement, ``-1`` for a miss.
+    growth, first-meet retirement, ``-1`` for a miss.  ``start`` is the
+    resume cursor — slots before it were already scanned hit-free for
+    every row of the block — and ``recorder`` (with its sign-group id
+    ``gid``) receives retirements and frontier advances at every
+    time-block boundary.
     """
     remaining = block
-    t0 = 0
+    t0 = start
     length = min(_INITIAL_TIME_BLOCK, horizon, max(1, cells // remaining.size))
     while t0 < horizon and remaining.size:
         t1 = min(t0 + length, horizon)
@@ -475,13 +668,19 @@ def _scan_block(
         rows = _gather_tile(var, offsets[remaining], t0, width)
         eq = rows == fixed_rows.row(t0, t1)[np.newaxis, :]
         hit = eq.any(axis=1)
+        hit_rows = remaining[hit]
         if hit.any():
-            result[remaining[hit]] = t0 + eq[hit].argmax(axis=1)
+            result[hit_rows] = t0 + eq[hit].argmax(axis=1)
             remaining = remaining[~hit]
         t0 = t1
+        if recorder is not None:
+            recorder.update(gid, hit_rows, result[hit_rows], remaining, t0)
         # Survivors are the slow rows: widen the window so the scan
         # finishes in O(log horizon) passes within the budget.
         length = min(length * 2, max(1, cells // max(remaining.size, 1)))
+    if recorder is not None and remaining.size:
+        # Rows that reached the horizon hit-free are certified misses.
+        recorder.update(gid, remaining, result[remaining], remaining[:0], horizon)
 
 
 def _stream_offsets(
@@ -490,6 +689,8 @@ def _stream_offsets(
     offsets: np.ndarray,
     horizon: int,
     plan: TilePlan,
+    recorder: _CheckpointRecorder | None = None,
+    gid: int = 0,
 ) -> np.ndarray:
     """First-coincidence slot per offset, via the blocked parallel scan.
 
@@ -499,17 +700,34 @@ def _stream_offsets(
     into ``plan.block_rows``-wide blocks; each block scans
     independently (one lane inline, ``plan.workers`` thread lanes
     otherwise) and writes its own disjoint result rows.
+
+    With a ``recorder``, rows the checkpoint already resolved are
+    answered from it and excluded from the scan; the surviving rows
+    re-block freely and each block resumes from the smallest frontier
+    among its rows — a row is never rescanned past its own first meet,
+    so resumed results stay bit-identical.
     """
     num = offsets.size
     result = np.full(num, -1, dtype=np.int64)
     if num == 0:
         return result
+    starts = np.zeros(num, dtype=np.int64)
+    pending = np.ones(num, dtype=bool)
+    if recorder is not None:
+        resolved, frontier = recorder.seed(gid)
+        done = resolved != _UNRESOLVED
+        result[done] = resolved[done]
+        pending = ~done
+        starts = frontier
     # Ascending by offset so each tile's rows gather from one
     # near-contiguous chunk when possible.
     order = np.argsort(offsets, kind="stable")
+    order = order[pending[order]]
+    if order.size == 0:
+        return result
     blocks = [
         order[lo : lo + plan.block_rows]
-        for lo in range(0, num, plan.block_rows)
+        for lo in range(0, order.size, plan.block_rows)
     ]
     fixed_rows = _FixedRowCache(fixed, plan.cells)
     lanes = min(plan.workers, len(blocks))
@@ -518,7 +736,7 @@ def _stream_offsets(
             futures = [
                 pool.submit(
                     _scan_block, var, offsets, block, horizon, plan.cells,
-                    fixed_rows, result,
+                    fixed_rows, result, int(starts[block].min()), recorder, gid,
                 )
                 for block in blocks
             ]
@@ -526,7 +744,10 @@ def _stream_offsets(
                 future.result()
     else:
         for block in blocks:
-            _scan_block(var, offsets, block, horizon, plan.cells, fixed_rows, result)
+            _scan_block(
+                var, offsets, block, horizon, plan.cells, fixed_rows, result,
+                int(starts[block].min()), recorder, gid,
+            )
     return result
 
 

@@ -21,7 +21,13 @@ The heavy lifting happens in :class:`SweepRunner`:
   tables are materialized **once** (the parent prewarms every distinct
   key before fanning out) and workers attach read-only memmap views
   instead of rebuilding tables per process — the enabling layer for
-  dense-universe sweeps, where table construction dominates.
+  dense-universe sweeps, where table construction dominates;
+* with a :class:`~repro.core.results.ResultStore` attached, whole
+  *measurements* persist: a repeat query is answered from disk before
+  any schedule is built, which is the serving layer behind
+  ``python -m repro serve``;
+* with a ``checkpoint_dir``, streaming sweeps snapshot their progress
+  and resume after an interruption, bit-identically.
 
 Shift policy: the asynchronous guarantee quantifies over *all* relative
 wake-up offsets — both wake orders.  A nonnegative shift only acts
@@ -49,8 +55,10 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.core.batch import ENGINES, ttr_sweep
+from repro.core.results import ResultStore, pair_query, result_digest
 from repro.core.schedule import Schedule
 from repro.core.store import ScheduleStore, build_plain, store_key
+from repro.core.stream import SweepCheckpoint
 from repro.sim.metrics import TTRStats, summarize_ttrs
 from repro.sim.workloads import Instance
 
@@ -152,6 +160,27 @@ class SweepRunner:
     algorithm name), never live ``Schedule`` objects.  Results return
     in pair order regardless of which path executed.
 
+    **Result-cache contract.** With ``results=`` (a
+    :class:`~repro.core.results.ResultStore` or a directory path),
+    ``measure_pair`` consults the persistent result cache *before
+    building any schedule* — a warm query costs one shard read, not a
+    sweep — and writes every computed measurement through after.  The
+    cache key is engine-invariant (see
+    :func:`repro.core.results.pair_query`), so results computed under
+    any engine/tile/lane configuration answer queries made under any
+    other; parallel ``measure_instance`` workers consult and fill the
+    same on-disk cache.
+
+    **Checkpoint contract.** With ``checkpoint_dir=``, every
+    streaming-engine sweep snapshots its progress into
+    ``<query digest>.ckpt.json`` under that directory (see
+    :class:`~repro.core.stream.SweepCheckpoint`): an interrupted
+    measurement resumes from the snapshot on rerun and the completed
+    sweep deletes it.  Resumed profiles are bit-identical to
+    uninterrupted ones.  Checkpointing rides the streaming engine, so
+    ``engine="auto"`` dispatches checkpointed sweeps to it; forcing
+    ``"batched"``/``"scalar"`` alongside a checkpoint directory raises.
+
     **Worker-budget contract.** ``workers`` is *one* budget spent on
     two axes: across pairs (the process pool) or within a pair (the
     streaming engine's intra-pair thread lanes,
@@ -173,11 +202,19 @@ class SweepRunner:
         engine: str = "auto",
         tile_bytes: int | None = None,
         stream_workers: int | None = None,
+        results: ResultStore | str | os.PathLike | None = None,
+        checkpoint_dir: str | os.PathLike | None = None,
     ):
         self.workers = os.cpu_count() or 1 if workers is None else max(1, workers)
         if store is not None and not isinstance(store, ScheduleStore):
             store = ScheduleStore(store)
         self.store = store
+        if results is not None and not isinstance(results, ResultStore):
+            results = ResultStore(results)
+        self.results = results
+        self.checkpoint_dir = (
+            None if checkpoint_dir is None else Path(checkpoint_dir)
+        )
         if engine not in ENGINES:
             raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
         self.engine = engine
@@ -279,8 +316,22 @@ class SweepRunner:
         ``stream_workers`` pins the intra-pair streaming lanes for this
         one measurement; ``None`` takes the runner's one-pair budget
         (see :meth:`worker_budget`).
+
+        With a result store attached, a cached measurement is returned
+        *before any schedule is built* (the warm-query fast path) and a
+        computed one is written through; with a checkpoint directory,
+        the sweep itself is interrupt/resumable.
         """
         i, j = pair
+        query = None
+        if self.results is not None or self.checkpoint_dir is not None:
+            query = self.pair_query_for(
+                instance, algorithm, pair, horizon, dense, probes, seed
+            )
+        if self.results is not None:
+            cached = self.results.get(query)
+            if cached is not None:
+                return _measured_from_record(algorithm, pair, cached)
         a = self.schedule_for(instance.sets[i], instance.n, algorithm, seed * 1000 + i)
         b = self.schedule_for(instance.sets[j], instance.n, algorithm, seed * 1000 + j)
         plan = shift_plan(a, b, dense=dense, probes=probes, seed=seed)
@@ -288,9 +339,14 @@ class SweepRunner:
             raise ValueError("empty shift plan: need dense > 0 or probes > 0")
         if stream_workers is None:
             stream_workers = self.worker_budget(1)[1]
+        checkpoint = None
+        if self.checkpoint_dir is not None:
+            checkpoint = SweepCheckpoint(
+                self.checkpoint_dir / f"{result_digest(query)}.ckpt.json"
+            )
         profile = ttr_sweep(
             a, b, plan, horizon, engine=self.engine, tile_bytes=self.tile_bytes,
-            stream_workers=stream_workers,
+            stream_workers=stream_workers, checkpoint=checkpoint,
         )
         for shift in plan:
             if profile[shift] is None:
@@ -300,7 +356,38 @@ class SweepRunner:
                     f"(sets {sorted(instance.sets[i])} / {sorted(instance.sets[j])})"
                 )
         samples = [profile[shift] for shift in plan]
-        return MeasuredPair(algorithm, pair, max(samples), summarize_ttrs(samples))
+        measured = MeasuredPair(algorithm, pair, max(samples), summarize_ttrs(samples))
+        if checkpoint is not None:
+            checkpoint.clear()
+        if self.results is not None:
+            self.results.put(query, _measured_record(measured))
+        return measured
+
+    def pair_query_for(
+        self,
+        instance: Instance,
+        algorithm: str,
+        pair: tuple[int, int],
+        horizon: int,
+        dense: int = 64,
+        probes: int = 64,
+        seed: int = 0,
+    ) -> dict:
+        """Canonical result-cache query for one ``measure_pair`` call.
+
+        The randomized baseline additionally pins the derived per-agent
+        tape seeds — two pairs over the same channel sets but different
+        agent indices draw different tapes and must not share a cache
+        entry.
+        """
+        i, j = pair
+        query = pair_query(
+            algorithm, instance.n, instance.sets[i], instance.sets[j],
+            horizon, dense, probes, seed,
+        )
+        if algorithm == "random":
+            query["agent_seeds"] = [seed * 1000 + i, seed * 1000 + j]
+        return query
 
     def effective_workers(self, num_pairs: int) -> int:
         """Process count a job of ``num_pairs`` pairs will actually use."""
@@ -352,11 +439,24 @@ class SweepRunner:
                 # the parent; workers then only ever attach.  The handle
                 # carries the memory cap so worker-side stores honor it.
                 self.prewarm(instance, algorithm, pairs, seed=seed)
-                store_handle = (str(self.store.store_dir), self.store.memory_cap)
+                store_handle = (
+                    str(self.store.store_dir),
+                    self.store.memory_cap,
+                    tuple(str(root) for root in self.store.read_roots),
+                )
+            results_handle = None
+            if self.results is not None:
+                results_handle = (
+                    str(self.results.store_dir), self.results.memory_cap
+                )
+            checkpoint_handle = (
+                None if self.checkpoint_dir is None else str(self.checkpoint_dir)
+            )
             payloads = [
                 (
                     instance, algorithm, pair, horizon, dense, probes, seed,
                     store_handle, self.engine, self.tile_bytes, stream_lanes,
+                    results_handle, checkpoint_handle,
                 )
                 for pair in pairs
             ]
@@ -373,6 +473,43 @@ class SweepRunner:
         ]
 
 
+def _measured_record(measured: MeasuredPair) -> dict:
+    """JSON-able result-store record of one measurement."""
+    stats = measured.stats
+    return {
+        "worst_ttr": measured.worst_ttr,
+        "stats": {
+            "count": stats.count,
+            "mean": stats.mean,
+            "median": stats.median,
+            "p95": stats.p95,
+            "maximum": stats.maximum,
+            "minimum": stats.minimum,
+        },
+    }
+
+
+def _measured_from_record(
+    algorithm: str, pair: tuple[int, int], record: dict
+) -> MeasuredPair:
+    """Rehydrate a cached record into a ``MeasuredPair`` (bit-identical:
+    JSON round-trips the ints and IEEE doubles exactly)."""
+    stats = record["stats"]
+    return MeasuredPair(
+        algorithm,
+        pair,
+        int(record["worst_ttr"]),
+        TTRStats(
+            count=int(stats["count"]),
+            mean=float(stats["mean"]),
+            median=float(stats["median"]),
+            p95=float(stats["p95"]),
+            maximum=int(stats["maximum"]),
+            minimum=int(stats["minimum"]),
+        ),
+    )
+
+
 # One runner per (worker process, store handle, engine config), so the
 # schedule cache — and the store attachment — survives across the tasks
 # that land on that worker.
@@ -384,17 +521,28 @@ def _measure_pair_task(payload: tuple) -> MeasuredPair:
     (
         instance, algorithm, pair, horizon, dense, probes, seed,
         store_handle, engine, tile_bytes, stream_lanes,
+        results_handle, checkpoint_handle,
     ) = payload
-    runner_key = (store_handle, engine, tile_bytes, stream_lanes)
+    runner_key = (
+        store_handle, engine, tile_bytes, stream_lanes,
+        results_handle, checkpoint_handle,
+    )
     runner = _WORKER_RUNNERS.get(runner_key)
     if runner is None:
         store = None
         if store_handle is not None:
-            store_dir, memory_cap = store_handle
-            store = ScheduleStore(store_dir, memory_cap=memory_cap)
+            store_dir, memory_cap, read_roots = store_handle
+            store = ScheduleStore(
+                store_dir, memory_cap=memory_cap, read_roots=read_roots
+            )
+        results = None
+        if results_handle is not None:
+            results_dir, results_cap = results_handle
+            results = ResultStore(results_dir, memory_cap=results_cap)
         runner = SweepRunner(
             workers=1, store=store, engine=engine, tile_bytes=tile_bytes,
-            stream_workers=stream_lanes,
+            stream_workers=stream_lanes, results=results,
+            checkpoint_dir=checkpoint_handle,
         )
         _WORKER_RUNNERS[runner_key] = runner
     return runner.measure_pair(

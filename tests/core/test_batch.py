@@ -156,3 +156,72 @@ def test_max_ttr_raises_on_miss_through_batch():
     a, b = CyclicSchedule([1, 2]), CyclicSchedule([3])
     with pytest.raises(AssertionError, match="no rendezvous"):
         max_ttr(a, b, [0, 1], 1000)
+
+
+class TestAutoDispatchShape:
+    """engine="auto" picks the engine from sweep *shape*, not just size:
+    a one-shot strided sweep against cold tables streams (table
+    materialization would dominate); warm or exhaustive sweeps batch."""
+
+    def _cold_pair(self):
+        # Fresh builds every call: dispatch probes table warmth, and a
+        # prior period_table() call would flip the answer.
+        instance = single_overlap(16, 3, 3, seed=2)
+        a = repro.build_schedule(instance.sets[0], 16, algorithm="jump-stay")
+        b = repro.build_schedule(instance.sets[1], 16, algorithm="jump-stay")
+        return a, b
+
+    def _spy_stream(self, monkeypatch):
+        calls = []
+        real = batch._stream.ttr_sweep_stream
+
+        def spy(*args, **kwargs):
+            calls.append(1)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(batch._stream, "ttr_sweep_stream", spy)
+        return calls
+
+    def test_cold_strided_sweep_streams(self, monkeypatch):
+        a, b = self._cold_pair()
+        num = max(a.period, b.period) // batch.STRIDED_DISPATCH_FACTOR
+        assert num > 0, "pair too small to express a strided sweep"
+        shifts = list(range(num))
+        calls = self._spy_stream(monkeypatch)
+        profile = batch.ttr_sweep(a, b, shifts, 4 * max(a.period, b.period))
+        assert calls, "cold strided sweep must dispatch to the stream engine"
+        assert profile == batch.ttr_sweep(
+            *self._cold_pair(), shifts, 4 * max(a.period, b.period),
+            engine="batched",
+        )
+
+    def test_warm_tables_keep_the_batched_path(self, monkeypatch):
+        a, b = self._cold_pair()
+        a.period_table(), b.period_table()  # warm both
+        assert a.has_warm_table() and b.has_warm_table()
+        num = max(a.period, b.period) // batch.STRIDED_DISPATCH_FACTOR
+        calls = self._spy_stream(monkeypatch)
+        batch.ttr_sweep(a, b, list(range(num)), 4 * max(a.period, b.period))
+        assert not calls, "warm tables make the batched setup free"
+
+    def test_exhaustive_sweep_keeps_the_batched_path(self, monkeypatch):
+        a, b = self._cold_pair()
+        shifts = list(range(max(a.period, b.period)))  # shift count ~ period
+        calls = self._spy_stream(monkeypatch)
+        batch.ttr_sweep(a, b, shifts, 4 * max(a.period, b.period))
+        assert not calls, "exhaustive sweeps read every table row: batch"
+
+    def test_stored_schedules_count_as_warm(self, tmp_path):
+        from repro.core.store import ScheduleStore
+
+        store = ScheduleStore(tmp_path)
+        store.get([1, 5], 16, "crseq")
+        attached = store.get([1, 5], 16, "crseq")
+        assert attached.has_warm_table()
+
+    def test_warmth_probe_semantics(self):
+        assert CyclicSchedule([1, 2, 3]).has_warm_table()
+        cold = repro.build_schedule([1, 5, 9], 16, algorithm="paper")
+        assert not cold.has_warm_table()
+        cold.period_table()
+        assert cold.has_warm_table()

@@ -1,0 +1,140 @@
+"""Tests for the persistent result cache."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.results import (
+    DEFAULT_RESULT_CAP,
+    SHARD_PREFIX_LEN,
+    ResultStore,
+    pair_query,
+    result_digest,
+)
+
+
+def _query(tag: int = 0, algorithm: str = "drds") -> dict:
+    return pair_query(algorithm, 64, [1, 5, tag + 9], [5, 12], 10_000, 64, 64, 0)
+
+
+def _value(tag: int = 0) -> dict:
+    return {"worst_ttr": 100 + tag, "stats": {"count": 128, "mean": 7.5 + tag}}
+
+
+class TestQueryDigest:
+    def test_query_canonicalizes_channel_order(self):
+        scrambled = pair_query("drds", 64, [9, 1, 5], [12, 5], 10_000, 64, 64, 0)
+        assert scrambled == _query()
+        assert result_digest(scrambled) == result_digest(_query())
+
+    def test_digest_ignores_key_insertion_order(self):
+        reversed_keys = dict(reversed(list(_query().items())))
+        assert result_digest(reversed_keys) == result_digest(_query())
+
+    def test_every_axis_changes_the_digest(self):
+        base = _query()
+        variants = [
+            dict(base, algorithm="zos"),
+            dict(base, n=128),
+            dict(base, set_a=[1, 5]),
+            dict(base, set_b=[5, 13]),
+            dict(base, horizon=20_000),
+            dict(base, dense=32),
+            dict(base, probes=32),
+            dict(base, seed=1),
+        ]
+        digests = {result_digest(q) for q in [base, *variants]}
+        assert len(digests) == len(variants) + 1
+
+
+class TestResultStore:
+    def test_miss_then_hit(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.get(_query()) is None
+        store.put(_query(), _value())
+        assert store.get(_query()) == _value()
+        assert (store.hits, store.misses, store.writes) == (1, 1, 1)
+
+    def test_records_persist_across_instances(self, tmp_path):
+        ResultStore(tmp_path).put(_query(), _value())
+        fresh = ResultStore(tmp_path)
+        assert fresh.get(_query()) == _value()
+        assert (fresh.hits, fresh.writes) == (1, 0)
+
+    def test_shard_file_named_by_digest_prefix(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(_query(), _value())
+        digest = result_digest(_query())
+        shard = tmp_path / f"{digest[:SHARD_PREFIX_LEN]}.jsonl"
+        assert shard.exists()
+        record = json.loads(shard.read_text().splitlines()[0])
+        assert record == {"digest": digest, "query": _query(), "value": _value()}
+
+    def test_put_replaces_same_digest(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(_query(), _value(0))
+        store.put(_query(), _value(1))
+        assert store.get(_query()) == _value(1)
+        assert len(store.entries()) == 1
+
+    def test_invalidate(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(_query(0), _value(0))
+        store.put(_query(1), _value(1))
+        assert store.invalidate(_query(0))
+        assert not store.invalidate(_query(0))
+        assert store.invalidations == 1
+        assert store.get(_query(0)) is None
+        assert store.get(_query(1)) == _value(1)
+
+    def test_corrupt_lines_degrade_to_misses(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(_query(), _value())
+        digest = result_digest(_query())
+        shard = tmp_path / f"{digest[:SHARD_PREFIX_LEN]}.jsonl"
+        shard.write_text('{"truncated-by-a-non-atomic\n' + shard.read_text())
+        assert store.get(_query()) == _value()
+
+    def test_eviction_under_byte_cap(self, tmp_path):
+        store = ResultStore(tmp_path, memory_cap=2_000)
+        queries = [_query(tag) for tag in range(20)]
+        for tag, query in enumerate(queries):
+            store.put(query, _value(tag))
+        assert store.evictions > 0
+        assert 0 < store.total_bytes() <= 2_000
+        # The newest record never evicts its own shard mid-write.
+        assert store.get(queries[-1]) == _value(19)
+
+    def test_hit_refreshes_lru_position(self, tmp_path):
+        import os
+
+        store = ResultStore(tmp_path)
+        store.put(_query(0), _value(0))
+        store.put(_query(1), _value(1))
+        # Backdate both shards past the filesystem's timestamp
+        # granularity, then hit shard 0: the hit must leave it newest.
+        for shard in store._shards():
+            os.utime(shard, (1, 1))
+        store.get(_query(0))
+        digest = result_digest(_query(0))
+        assert store._shards()[-1].name == f"{digest[:SHARD_PREFIX_LEN]}.jsonl"
+
+    def test_clear_and_stats(self, tmp_path):
+        store = ResultStore(tmp_path)
+        store.put(_query(0), _value(0))
+        store.put(_query(1), _value(1))
+        stats = store.stats()
+        assert stats["entries"] == 2
+        assert stats["writes"] == 2
+        assert stats["total_bytes"] == store.total_bytes()
+        assert store.clear() == 2
+        assert store.entries() == []
+
+    def test_rejects_nonpositive_cap(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultStore(tmp_path, memory_cap=0)
+
+    def test_default_cap(self, tmp_path):
+        assert ResultStore(tmp_path).memory_cap == DEFAULT_RESULT_CAP

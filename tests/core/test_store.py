@@ -11,6 +11,7 @@ import pytest
 import repro
 from repro.core.batch import ttr_sweep
 from repro.core.store import (
+    SHARD_PREFIX_LEN,
     STORE_PERIOD_LIMIT,
     ScheduleStore,
     StoredSchedule,
@@ -91,7 +92,8 @@ class TestScheduleStore:
         assert isinstance(table, np.memmap)
         assert not table.flags.writeable
         digest = key_digest(store_key([1, 5], 16, "crseq"))
-        assert str(table.filename) == str(tmp_path / f"{digest}.npy")
+        shard = tmp_path / digest[:SHARD_PREFIX_LEN]
+        assert str(table.filename) == str(shard / f"{digest}.npy")
         with pytest.raises(ValueError):
             table[0] = 99
 
@@ -211,6 +213,85 @@ class TestScheduleStore:
         schedule = store.get([1, 2], 16, "crseq")
         assert schedule.period == 867
         assert store.builds == 2  # rebuilt instead of raising
+
+
+class TestShardedLayout:
+    def test_tables_land_in_digest_prefix_subdirs(self, tmp_path):
+        from repro.core.store import SHARD_PREFIX_LEN
+
+        store = ScheduleStore(tmp_path)
+        store.get([1, 5], 16, "crseq")
+        digest = key_digest(store_key([1, 5], 16, "crseq"))
+        shard = tmp_path / digest[:SHARD_PREFIX_LEN]
+        assert (shard / f"{digest}.npy").exists()
+        assert (shard / f"{digest}.json").exists()
+        assert not (tmp_path / f"{digest}.npy").exists()
+        assert [m["digest"] for m in store.entries()] == [digest]
+
+    def test_legacy_flat_layout_still_attaches(self, tmp_path):
+        # Pre-shard stores kept <digest>.npy flat in the root; the read
+        # path must keep serving them without a rebuild.
+        store = ScheduleStore(tmp_path)
+        built = store.get([1, 5], 16, "crseq")
+        digest = key_digest(store_key([1, 5], 16, "crseq"))
+        shard = tmp_path / digest[:2]
+        for suffix in (".npy", ".json"):
+            (shard / f"{digest}{suffix}").rename(tmp_path / f"{digest}{suffix}")
+        shard.rmdir()
+        fresh = ScheduleStore(tmp_path)
+        assert fresh.contains([1, 5], 16, "crseq")
+        attached = fresh.get([1, 5], 16, "crseq")
+        assert (fresh.builds, fresh.attaches) == (0, 1)
+        assert np.array_equal(attached.period_table(), built.period_table())
+        assert [m["digest"] for m in fresh.entries()] == [digest]
+        assert fresh.evict(digest)
+        assert not fresh.contains([1, 5], 16, "crseq")
+
+    def test_read_roots_attach_without_building(self, tmp_path):
+        warm = ScheduleStore(tmp_path / "warm")
+        corpus = warm.get([1, 5], 16, "crseq")
+        local = ScheduleStore(tmp_path / "local", read_roots=[tmp_path / "warm"])
+        attached = local.get([1, 5], 16, "crseq")
+        assert (local.builds, local.attaches) == (0, 1)
+        assert np.array_equal(attached.period_table(), corpus.period_table())
+        # Read roots are lookup-only: nothing was copied or promoted
+        # into the primary root, and entries() does not list them.
+        assert local.entries() == []
+        # A miss everywhere builds into the *primary* root only.
+        local.get([3, 4], 16, "crseq")
+        assert local.builds == 1
+        assert not warm.contains([3, 4], 16, "crseq")
+        assert local.contains([3, 4], 16, "crseq")
+
+    def test_attach_survives_failed_lru_touch(self, tmp_path, monkeypatch):
+        # Read-only roots (NFS corpus) reject the utime that refreshes
+        # the LRU position; the successful mmap must stand regardless.
+        import os as _os
+
+        store = ScheduleStore(tmp_path)
+        store.get([1, 5], 16, "crseq")
+
+        def denied(*args, **kwargs):
+            raise PermissionError("read-only root")
+
+        monkeypatch.setattr(_os, "utime", denied)
+        attached = store.get([1, 5], 16, "crseq")
+        assert isinstance(attached.period_table(), np.memmap)
+        assert (store.builds, store.attaches) == (1, 1)
+
+    def test_shared_directory_attach_updates_lru_for_all_stores(self, tmp_path):
+        # Two processes (modeled as two stores) share one directory.
+        # B's attach of the oldest entry must register as recency for
+        # A's later eviction pass — the LRU lives in the files, not in
+        # either store's memory.
+        a = ScheduleStore(tmp_path, memory_cap=15_000)  # fits two tables
+        a.get([1, 2], 16, "crseq")
+        a.get([3, 4], 16, "crseq")
+        b = ScheduleStore(tmp_path, memory_cap=15_000)
+        b.get([1, 2], 16, "crseq")  # attach: [1,2] is now globally warm
+        a.get([5, 6], 16, "crseq")  # A must evict [3,4], not B's [1,2]
+        assert a.contains([1, 2], 16, "crseq")
+        assert not a.contains([3, 4], 16, "crseq")
 
 
 class TestCrossProcess:

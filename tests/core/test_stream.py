@@ -340,3 +340,147 @@ class TestTilePlanner:
         l2, l3 = stream_module.cache_sizes()
         assert stream_module.cache_sizes() == (l2, l3)
         assert 0 < l2 <= l3
+
+
+class _FailingSink(stream_module.SweepCheckpoint):
+    """Checkpoint sink that dies after N successful saves — the test's
+    stand-in for a mid-sweep kill (the exception unwinds the scan
+    exactly the way SIGTERM-during-save would leave the file system:
+    last complete snapshot on disk, scan unfinished)."""
+
+    def __init__(self, path, fail_after, interval_blocks=1):
+        super().__init__(path, interval_blocks=interval_blocks)
+        self.fail_after = fail_after
+
+    def save(self, state):
+        if self.saves >= self.fail_after:
+            raise RuntimeError("injected interruption")
+        super().save(state)
+
+
+class TestCheckpointResume:
+    """Interrupt/resume certification: merged profiles are bit-identical."""
+
+    def _pair(self, algorithm):
+        instance = single_overlap(16, 3, 3, seed=2)
+        i, j = instance.overlapping_pairs()[0]
+        a = repro.build_schedule(instance.sets[i], instance.n, algorithm=algorithm)
+        b = repro.build_schedule(instance.sets[j], instance.n, algorithm=algorithm)
+        return a, b, 4 * max(a.period, b.period)
+
+    @pytest.mark.parametrize("algorithm", ["paper", "jump-stay", "zos"])
+    def test_interrupted_then_resumed_is_bit_identical(self, tmp_path, algorithm):
+        a, b, horizon = self._pair(algorithm)
+        baseline = ttr_sweep_stream(a, b, SHIFTS, horizon)
+        path = tmp_path / "sweep.ckpt.json"
+        # Tiny tiles force many block boundaries, so the injected death
+        # lands mid-scan with real partial progress on disk.
+        dying = _FailingSink(path, fail_after=3)
+        with pytest.raises(RuntimeError, match="injected"):
+            ttr_sweep_stream(
+                a, b, SHIFTS, horizon, tile_bytes=64, workers=1, checkpoint=dying
+            )
+        assert path.exists(), "interruption must leave the last snapshot"
+        resumed = ttr_sweep_stream(
+            a, b, SHIFTS, horizon, tile_bytes=64, workers=1,
+            checkpoint=stream_module.SweepCheckpoint(path),
+        )
+        assert resumed == baseline
+
+    def test_interrupted_parallel_scan_resumes(self, tmp_path):
+        a, b, horizon = self._pair("paper")
+        baseline = ttr_sweep_stream(a, b, SHIFTS, horizon)
+        path = tmp_path / "sweep.ckpt.json"
+        with pytest.raises(RuntimeError, match="injected"):
+            ttr_sweep_stream(
+                a, b, SHIFTS, horizon, tile_bytes=64, workers=4,
+                checkpoint=_FailingSink(path, fail_after=5),
+            )
+        resumed = ttr_sweep_stream(
+            a, b, SHIFTS, horizon, tile_bytes=64, workers=4,
+            checkpoint=stream_module.SweepCheckpoint(path),
+        )
+        assert resumed == baseline
+
+    def test_complete_snapshot_answers_without_rescanning(
+        self, tmp_path, monkeypatch
+    ):
+        # After an uninterrupted checkpointed run, every row is resolved
+        # in the snapshot; a rerun must answer entirely from it — proven
+        # by making any tile gather blow up.
+        a, b, horizon = self._pair("zos")
+        path = tmp_path / "sweep.ckpt.json"
+        first = ttr_sweep_stream(
+            a, b, SHIFTS, horizon, tile_bytes=64, workers=1,
+            checkpoint=stream_module.SweepCheckpoint(path),
+        )
+
+        def no_gather(*args, **kwargs):
+            raise AssertionError("resumed run gathered a tile")
+
+        monkeypatch.setattr(stream_module, "_gather_tile", no_gather)
+        replayed = ttr_sweep_stream(
+            a, b, SHIFTS, horizon, tile_bytes=64, workers=1,
+            checkpoint=stream_module.SweepCheckpoint(path),
+        )
+        assert replayed == first
+
+    def test_certified_misses_resume_as_misses(self, tmp_path):
+        # Disjoint channel sets: every shift is a miss.  The snapshot
+        # must certify them (resolved -1), not leave them pending.
+        a = repro.build_schedule([1, 2], 16, algorithm="paper")
+        b = repro.build_schedule([3, 4], 16, algorithm="paper")
+        horizon = 2 * max(a.period, b.period)
+        path = tmp_path / "sweep.ckpt.json"
+        first = ttr_sweep_stream(
+            a, b, SHIFTS, horizon, tile_bytes=64, workers=1,
+            checkpoint=stream_module.SweepCheckpoint(path),
+        )
+        assert set(first.values()) == {None}
+        resumed = ttr_sweep_stream(
+            a, b, SHIFTS, horizon, checkpoint=stream_module.SweepCheckpoint(path)
+        )
+        assert resumed == first
+
+    def test_snapshot_of_a_different_sweep_is_ignored(self, tmp_path):
+        a, b, horizon = self._pair("paper")
+        path = tmp_path / "sweep.ckpt.json"
+        ttr_sweep_stream(
+            a, b, SHIFTS, horizon // 2, tile_bytes=64, workers=1,
+            checkpoint=stream_module.SweepCheckpoint(path),
+        )
+        # Same sink path, different horizon: the spec digest differs, so
+        # the stale snapshot must not contaminate the fresh sweep.
+        fresh = ttr_sweep_stream(
+            a, b, SHIFTS, horizon, tile_bytes=64, workers=1,
+            checkpoint=stream_module.SweepCheckpoint(path),
+        )
+        assert fresh == ttr_sweep_stream(a, b, SHIFTS, horizon)
+
+    def test_checkpointed_run_matches_plain_run(self, tmp_path):
+        a, b, horizon = self._pair("jump-stay")
+        profile = ttr_sweep_stream(
+            a, b, SHIFTS, horizon,
+            checkpoint=stream_module.SweepCheckpoint(tmp_path / "c.json"),
+        )
+        assert profile == ttr_sweep_stream(a, b, SHIFTS, horizon)
+
+    def test_dispatcher_routes_checkpoint_to_stream(self, tmp_path):
+        a, b, horizon = self._pair("paper")
+        sink = stream_module.SweepCheckpoint(tmp_path / "c.json", interval_blocks=2)
+        via_dispatch = batch.ttr_sweep(a, b, SHIFTS, horizon, checkpoint=sink)
+        assert via_dispatch == ttr_sweep_stream(a, b, SHIFTS, horizon)
+        assert sink.saves > 0
+        with pytest.raises(ValueError, match="streaming"):
+            batch.ttr_sweep(a, b, SHIFTS, horizon, engine="batched", checkpoint=sink)
+
+    def test_sink_validation_and_clear(self, tmp_path):
+        with pytest.raises(ValueError, match="interval_blocks"):
+            stream_module.SweepCheckpoint(tmp_path / "c.json", interval_blocks=0)
+        sink = stream_module.SweepCheckpoint(tmp_path / "c.json")
+        assert sink.load() is None
+        sink.save({"spec": "x"})
+        assert sink.load() == {"spec": "x"}
+        sink.clear()
+        assert sink.load() is None
+        sink.clear()  # idempotent

@@ -261,3 +261,125 @@ class TestWorkerBudget:
         )
         assert budgeted == laned_serial
         assert budgeted == serial
+
+
+class TestSweepRunnerResults:
+    def _instance(self):
+        return single_overlap(16, 3, 3, seed=2)
+
+    def test_results_accepts_directory_path(self, tmp_path):
+        from repro.core.results import ResultStore
+
+        r = runner.SweepRunner(workers=1, results=tmp_path / "results")
+        assert isinstance(r.results, ResultStore)
+
+    def test_warm_query_skips_schedule_builds(self, tmp_path):
+        instance = self._instance()
+        pair = instance.overlapping_pairs()[0]
+        cold = runner.SweepRunner(workers=1, results=tmp_path / "results")
+        first = cold.measure_pair(instance, "paper", pair, 100_000)
+        assert cold.results.writes == 1
+        warm = runner.SweepRunner(workers=1, results=tmp_path / "results")
+        second = warm.measure_pair(instance, "paper", pair, 100_000)
+        # The cached answer must be the *whole* measurement, bit for
+        # bit, and must arrive before any schedule exists.
+        assert second == first
+        assert warm.results.hits == 1
+        assert warm.cache_misses == 0, "no schedule was built for a warm query"
+
+    def test_cache_key_separates_algorithms_and_plans(self, tmp_path):
+        instance = self._instance()
+        pair = instance.overlapping_pairs()[0]
+        r = runner.SweepRunner(workers=1, results=tmp_path / "results")
+        r.measure_pair(instance, "paper", pair, 100_000)
+        r.measure_pair(instance, "zos", pair, 100_000)
+        r.measure_pair(instance, "paper", pair, 100_000, dense=32)
+        assert r.results.writes == 3
+        assert r.results.hits == 0
+
+    def test_random_baseline_keys_by_agent_indices(self, tmp_path):
+        # Two pairs over identical channel sets but different agent
+        # indices draw different random tapes: they must not share a
+        # cache entry.
+        sets = [frozenset({1, 2, 3})] * 3
+        instance = Instance(8, sets, "clones")
+        r = runner.SweepRunner(workers=1, results=tmp_path / "results")
+        r.measure_pair(instance, "random", (0, 1), 100_000)
+        r.measure_pair(instance, "random", (0, 2), 100_000)
+        assert r.results.writes == 2
+        assert r.results.hits == 0
+        q01 = r.pair_query_for(instance, "random", (0, 1), 100_000)
+        q02 = r.pair_query_for(instance, "random", (0, 2), 100_000)
+        assert q01 != q02
+        # Deterministic algorithms do not fragment on indices.
+        d01 = r.pair_query_for(instance, "paper", (0, 1), 100_000)
+        d02 = r.pair_query_for(instance, "paper", (0, 2), 100_000)
+        assert d01 == d02
+
+    def test_parallel_workers_fill_and_consult_the_cache(self, tmp_path):
+        instance = random_subsets(16, 4, 3, seed=1)
+        plain = runner.SweepRunner(workers=1).measure_instance(
+            instance, "paper", 100_000
+        )
+        fan = runner.SweepRunner(workers=2, results=tmp_path / "results")
+        cold = fan.measure_instance(instance, "paper", 100_000)
+        assert cold == plain
+        warm_runner = runner.SweepRunner(workers=1, results=tmp_path / "results")
+        warm = warm_runner.measure_instance(instance, "paper", 100_000)
+        assert warm == plain
+        assert warm_runner.results.hits == len(plain)
+        assert warm_runner.cache_misses == 0
+
+
+class TestSweepRunnerCheckpoint:
+    def test_checkpoint_dir_threads_through_and_cleans_up(self, tmp_path):
+        instance = single_overlap(16, 3, 3, seed=2)
+        pair = instance.overlapping_pairs()[0]
+        ckpt = tmp_path / "ckpt"
+        with_ckpt = runner.SweepRunner(workers=1, checkpoint_dir=ckpt)
+        measured = with_ckpt.measure_pair(instance, "paper", pair, 100_000)
+        plain = runner.SweepRunner(workers=1).measure_pair(
+            instance, "paper", pair, 100_000
+        )
+        assert measured == plain
+        assert list(ckpt.glob("*.ckpt.json")) == [], (
+            "a completed sweep must delete its checkpoint"
+        )
+
+    def test_interrupted_measurement_resumes_bit_identical(self, tmp_path):
+        from repro.core import stream as stream_module
+
+        instance = single_overlap(16, 3, 3, seed=2)
+        pair = instance.overlapping_pairs()[0]
+        plain = runner.SweepRunner(workers=1).measure_pair(
+            instance, "paper", pair, 100_000
+        )
+        ckpt = tmp_path / "ckpt"
+        # Inject the interruption at the sink layer: die after two
+        # snapshots, exactly like a kill mid-sweep.
+        real_sink = stream_module.SweepCheckpoint
+        interrupted = runner.SweepRunner(
+            workers=1, checkpoint_dir=ckpt, engine="stream", tile_bytes=64
+        )
+
+        class Dying(real_sink):
+            def save(self, state):
+                if self.saves >= 2:
+                    raise RuntimeError("injected interruption")
+                super().save(state)
+
+        import repro.sim.runner as runner_module
+
+        original = runner_module.SweepCheckpoint
+        runner_module.SweepCheckpoint = Dying
+        try:
+            with pytest.raises(RuntimeError, match="injected"):
+                interrupted.measure_pair(instance, "paper", pair, 100_000)
+        finally:
+            runner_module.SweepCheckpoint = original
+        assert list(ckpt.glob("*.ckpt.json")), "interruption left no snapshot"
+        resumed = runner.SweepRunner(
+            workers=1, checkpoint_dir=ckpt, engine="stream", tile_bytes=64
+        ).measure_pair(instance, "paper", pair, 100_000)
+        assert resumed == plain
+        assert list(ckpt.glob("*.ckpt.json")) == []

@@ -304,3 +304,148 @@ class TestStreamTuningFlags:
                 ["sweep", "--agents", "1,2/2,3", "--universe", "8",
                  "--stream-workers", "-2"]
             )
+
+
+class TestServeCommand:
+    ARGS = [
+        "serve", "--a", "1,5,9", "--b", "5,12", "--universe", "16",
+        "--algorithm", "zos", "--horizon", "100000",
+    ]
+
+    def test_cold_miss_computes_then_warm_hit_serves(self, capsys, tmp_path):
+        results = str(tmp_path / "results")
+        assert main(self.ARGS + ["--results-dir", results]) == 0
+        cold = capsys.readouterr().out
+        assert "source: computed" in cold
+        assert "worst TTR:" in cold
+        assert "result cache" in cold
+        assert main(self.ARGS + ["--results-dir", results]) == 0
+        warm = capsys.readouterr().out
+        assert "source: cache hit" in warm
+        # The served answer is the computed one, verbatim.
+        pick = lambda out: [
+            line for line in out.splitlines() if line.startswith("worst TTR:")
+        ]
+        assert pick(warm)[0].replace("cache hit", "computed") == pick(cold)[0]
+
+    def test_json_mode_round_trips(self, capsys, tmp_path):
+        import json
+
+        results = str(tmp_path / "results")
+        assert main(self.ARGS + ["--results-dir", results, "--json"]) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert cold["source"] == "computed"
+        assert cold["query"]["algorithm"] == "zos"
+        assert main(self.ARGS + ["--results-dir", results, "--json"]) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["source"] == "cache hit"
+        assert warm["digest"] == cold["digest"]
+        assert warm["worst_ttr"] == cold["worst_ttr"]
+        assert warm["stats"] == cold["stats"]
+
+    def test_serve_with_schedule_store(self, capsys, tmp_path):
+        code = main(
+            self.ARGS
+            + [
+                "--results-dir", str(tmp_path / "results"),
+                "--store-dir", str(tmp_path / "store"),
+            ]
+        )
+        assert code == 0
+        assert (tmp_path / "store").is_dir()
+
+    def test_read_root_requires_store_dir(self, capsys, tmp_path):
+        code = main(
+            self.ARGS
+            + [
+                "--results-dir", str(tmp_path / "results"),
+                "--read-root", str(tmp_path / "warm"),
+            ]
+        )
+        assert code == 2
+        assert "--read-root requires --store-dir" in capsys.readouterr().out
+
+    def test_disjoint_pair_fails_cleanly(self, capsys, tmp_path):
+        code = main(
+            [
+                "serve", "--a", "1,2", "--b", "3,4", "--universe", "16",
+                "--horizon", "10000",
+                "--results-dir", str(tmp_path / "results"),
+            ]
+        )
+        assert code == 1
+        assert "serve failed" in capsys.readouterr().out
+
+
+class TestSweepServiceFlags:
+    ARGS = [
+        "sweep", "--agents", "1,5,9/5,12/1,12", "--universe", "16",
+        "--algorithm", "zos", "--horizon", "100000",
+    ]
+
+    def test_results_dir_caches_across_runs(self, capsys, tmp_path):
+        results = str(tmp_path / "results")
+        assert main(self.ARGS + ["--results-dir", results]) == 0
+        cold = capsys.readouterr().out
+        assert "result cache" in cold and "3 writes" in cold
+        assert main(self.ARGS + ["--results-dir", results]) == 0
+        warm = capsys.readouterr().out
+        assert "3 hits" in warm and "0 misses" in warm
+
+        def table(out):
+            return [l for l in out.splitlines() if l[:3].count("-") == 1]
+
+        assert table(warm) == table(cold) and len(table(cold)) == 3
+
+    def test_checkpoint_roundtrip_and_resume(self, capsys, tmp_path):
+        ckpt = str(tmp_path / "ckpt")
+        assert main(self.ARGS + ["--checkpoint-dir", ckpt]) == 0
+        first = capsys.readouterr().out
+        assert list((tmp_path / "ckpt").glob("*.ckpt.json")) == []
+        assert main(self.ARGS + ["--checkpoint-dir", ckpt, "--resume"]) == 0
+        second = capsys.readouterr().out
+        assert [l for l in second.splitlines() if l and l[0].isdigit()] == [
+            l for l in first.splitlines() if l and l[0].isdigit()
+        ]
+
+    def test_fresh_run_discards_stale_checkpoints(self, tmp_path, capsys):
+        ckpt = tmp_path / "ckpt"
+        ckpt.mkdir()
+        stale = ckpt / "deadbeef.ckpt.json"
+        stale.write_text("{}")
+        assert main(self.ARGS + ["--checkpoint-dir", str(ckpt)]) == 0
+        capsys.readouterr()
+        assert not stale.exists()
+
+    def test_resume_requires_checkpoint_dir(self, capsys):
+        assert main(self.ARGS + ["--resume"]) == 2
+        assert "--resume requires --checkpoint-dir" in capsys.readouterr().out
+
+    def test_checkpoint_rejects_batched_engine(self, capsys, tmp_path):
+        code = main(
+            self.ARGS
+            + ["--checkpoint-dir", str(tmp_path / "c"), "--engine", "batched"]
+        )
+        assert code == 2
+        assert "streaming engine" in capsys.readouterr().out
+
+    def test_read_root_requires_store_dir(self, capsys, tmp_path):
+        code = main(self.ARGS + ["--read-root", str(tmp_path / "warm")])
+        assert code == 2
+        assert "--read-root requires --store-dir" in capsys.readouterr().out
+
+    def test_read_root_attaches_warm_corpus(self, capsys, tmp_path):
+        warm = str(tmp_path / "warm")
+        assert main(
+            [
+                "store", "prewarm", "--agents", "1,5,9/5,12/1,12",
+                "--universe", "16", "--algorithm", "zos", "--store-dir", warm,
+            ]
+        ) == 0
+        capsys.readouterr()
+        local = str(tmp_path / "local")
+        assert main(
+            self.ARGS + ["--store-dir", local, "--read-root", warm]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "0 built, 3 attached" in out

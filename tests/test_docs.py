@@ -43,6 +43,8 @@ class TestDocsExist:
             "Memory cap",
             "BENCH_batched_sweep.json",
             "BENCH_store_sweep.json",
+            "BENCH_service_cache.json",
+            "result cache",
             "API.md",
         ):
             assert required in text, f"docs/BENCHMARKS.md is missing {required!r}"
@@ -54,6 +56,9 @@ class TestDocsExist:
             "data flow",
             "ScheduleStore",
             "_BUILDERS",
+            "The serving layer",
+            "ResultStore",
+            "read_roots",
             "Extension recipe",
             "Deviations from the paper",
         ):
@@ -67,6 +72,11 @@ class TestDocsExist:
             "verify_guarantee",
             "SweepRunner",
             "ScheduleStore",
+            "ResultStore",
+            "SweepCheckpoint",
+            "pair_query",
+            "read_roots",
+            "repro serve",
             "Workloads",
             "Theorem 3",
         ):
@@ -81,6 +91,10 @@ class TestDocsExist:
             "Worker budgeting",
             "stream-workers",
             "tile-bytes",
+            "sweep shape",
+            "STRIDED_DISPATCH_FACTOR",
+            "results-dir",
+            "checkpoint-dir",
             "crossover",
             "bit-identical",
             "Worked invocations",

@@ -22,9 +22,13 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
-#: The layers whose public surface docs/API.md documents.
+#: The layers whose public surface docs/API.md documents.  The result
+#: cache is named explicitly (the serving layer's database file) even
+#: though the ``src/repro/core`` walk also reaches it — listing it here
+#: keeps the gate intact if the module ever moves out of the package.
 DEFAULT_TARGETS = (
     "src/repro/core",
+    "src/repro/core/results.py",
     "src/repro/sim",
     "src/repro/baselines",
     "src/repro/analysis",
@@ -64,18 +68,27 @@ def missing_docstrings(path: Path) -> list[tuple[int, str]]:
 
 
 def python_files(targets: list[str]) -> list[Path]:
-    """Public ``.py`` files under each target directory (or single files)."""
+    """Public ``.py`` files under each target directory (or single files).
+
+    Deduplicated: a file named both directly and via a directory walk is
+    checked (and reported) once.
+    """
     files: list[Path] = []
+    seen: set[Path] = set()
     for target in targets:
         root = REPO_ROOT / target
         if root.is_file():
-            files.append(root)
-            continue
-        files.extend(
-            path
-            for path in sorted(root.rglob("*.py"))
-            if _is_public(path.stem) or path.name == "__init__.py"
-        )
+            candidates = [root]
+        else:
+            candidates = [
+                path
+                for path in sorted(root.rglob("*.py"))
+                if _is_public(path.stem) or path.name == "__init__.py"
+            ]
+        for path in candidates:
+            if path not in seen:
+                seen.add(path)
+                files.append(path)
     return files
 
 
