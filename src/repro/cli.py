@@ -7,6 +7,9 @@ numbers without writing Python:
     python -m repro rendezvous --a 3,17,40 --b 17,58 --universe 64
     python -m repro bound --k 3 --l 4 --universe 64
     python -m repro simulate --agents 3,17,40/17,58/3,58 --universe 64
+    python -m repro netsim --workload random_subsets --universe 12 --k 3 --agents 5000
+    python -m repro netsim --workload random_subsets --universe 12 --agents 600 --certify 50
+    python -m repro netsim --workload whitespace --universe 24 --agents 2000 --churn 0.2 --json
     python -m repro sweep --agents 3,17,40/17,58/3,58 --universe 64
     python -m repro sweep --agents ... --universe 64 --engine stream --tile-bytes 65536
     python -m repro sweep --agents ... --universe 64 --engine stream --stream-workers 4 --tile-bytes auto
@@ -27,6 +30,8 @@ from __future__ import annotations
 
 import argparse
 import json
+import random
+import time
 from collections.abc import Sequence
 from pathlib import Path
 
@@ -36,7 +41,19 @@ from repro.core import bounds
 from repro.core.results import ResultStore, result_digest
 from repro.core.store import ScheduleStore
 from repro.core.verification import ttr_for_shift
-from repro.sim import Agent, Instance, Network, SweepRunner
+from repro.sim import (
+    Agent,
+    Instance,
+    Network,
+    Population,
+    SweepRunner,
+    channel_contention,
+    simulate_population,
+    summarize_discovery,
+)
+from repro.sim import workloads as _workloads
+from repro.sim.netcore import DEFAULT_CHUNK
+from repro.sim.network import ENGINES as _SIM_ENGINES
 
 __all__ = ["main", "build_parser"]
 
@@ -91,6 +108,31 @@ def _parse_tile_bytes(text: str) -> int | None:
     return value
 
 
+#: Workload generators the ``netsim`` subcommand can instantiate.
+_NETSIM_WORKLOADS = (
+    "random_subsets",
+    "symmetric",
+    "available_overlap",
+    "adversarial_single_common",
+    "whitespace",
+)
+
+
+def _parse_fraction(text: str) -> float:
+    """A probability in ``[0, 1]``."""
+    try:
+        value = float(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"expected a fraction, got {text!r}"
+        ) from exc
+    if not 0.0 <= value <= 1.0:
+        raise argparse.ArgumentTypeError(
+            f"fraction must be in [0, 1], got {value}"
+        )
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -130,6 +172,93 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--algorithm", choices=_ALGORITHMS, default="paper")
     simulate.add_argument("--horizon", type=int, default=200_000)
     simulate.add_argument("--wake-stagger", type=int, default=13)
+
+    netsim = sub.add_parser(
+        "netsim",
+        help="network-scale discovery simulation over a generated workload",
+    )
+    netsim.add_argument(
+        "--workload",
+        choices=_NETSIM_WORKLOADS,
+        default="random_subsets",
+        help="channel-set generator for the population",
+    )
+    netsim.add_argument("--universe", type=int, required=True)
+    netsim.add_argument(
+        "--agents",
+        type=int,
+        required=True,
+        metavar="N",
+        help="population size (number of radios)",
+    )
+    netsim.add_argument(
+        "--k",
+        type=int,
+        default=3,
+        help="channel-set size for the subset workloads",
+    )
+    netsim.add_argument(
+        "--rho",
+        type=_parse_fraction,
+        default=0.5,
+        help="overlap fraction for the available_overlap workload",
+    )
+    netsim.add_argument("--algorithm", choices=_ALGORITHMS, default="paper")
+    netsim.add_argument("--horizon", type=int, default=500_000)
+    netsim.add_argument(
+        "--wake-spread",
+        type=int,
+        default=16,
+        help="wake slots drawn uniformly from [0, spread); 0 wakes "
+        "everyone at slot 0",
+    )
+    netsim.add_argument(
+        "--churn",
+        type=_parse_fraction,
+        default=0.0,
+        help="fraction of agents that leave mid-simulation (seeded)",
+    )
+    netsim.add_argument(
+        "--churn-window",
+        type=int,
+        default=10_000,
+        help="a leaving agent departs within this many slots of waking",
+    )
+    netsim.add_argument("--seed", type=int, default=0)
+    netsim.add_argument(
+        "--engine",
+        choices=_SIM_ENGINES,
+        default="vectorized",
+        help="simulation engine: the vectorized cohort-columnar core "
+        "(default), the pairwise reference loop, or auto dispatch on "
+        "population size",
+    )
+    netsim.add_argument(
+        "--chunk",
+        type=int,
+        default=DEFAULT_CHUNK,
+        help="slots materialized per time chunk",
+    )
+    netsim.add_argument(
+        "--certify",
+        type=int,
+        default=0,
+        metavar="K",
+        help="also run both engines over the first K agents and require "
+        "bit-identical events (parity spot-check)",
+    )
+    netsim.add_argument(
+        "--store-dir",
+        default=None,
+        help="optional schedule store: distinct period tables "
+        "materialize once and attach as read-only memmaps",
+    )
+    netsim.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit the summary as one JSON object instead of plain text",
+    )
 
     sweep = sub.add_parser(
         "sweep",
@@ -360,6 +489,172 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         return 1
     print(f"\nall overlapping pairs met by slot {result.discovery_time()}")
     return 0
+
+
+def _netsim_population(args: argparse.Namespace) -> list[Agent]:
+    """Build the seeded agent population for one ``netsim`` invocation.
+
+    One schedule is built per *distinct* channel set and shared across
+    the agents drawing it (through the store when ``--store-dir`` is
+    given), so the vectorized core's cohort grouping pays for each
+    period table exactly once.  Wake and departure slots come from one
+    seeded RNG, making the whole population a pure function of the
+    arguments.
+    """
+    if args.agents < 1:
+        raise ValueError(f"need at least one agent, got {args.agents}")
+    if args.churn_window < 1:
+        raise ValueError(
+            f"churn window must be positive, got {args.churn_window}"
+        )
+    if args.workload == "random_subsets":
+        instance = _workloads.random_subsets(
+            args.universe, args.k, args.agents, seed=args.seed
+        )
+    elif args.workload == "symmetric":
+        instance = _workloads.symmetric(
+            args.universe, args.k, args.agents, seed=args.seed
+        )
+    elif args.workload == "available_overlap":
+        instance = _workloads.available_overlap(
+            args.universe, args.k, args.agents, args.rho, seed=args.seed
+        )
+    elif args.workload == "adversarial_single_common":
+        instance = _workloads.adversarial_single_common(
+            args.universe, args.k, args.agents, seed=args.seed
+        )
+    else:
+        instance = _workloads.whitespace(
+            args.universe, args.agents, seed=args.seed
+        )
+    store = None if args.store_dir is None else ScheduleStore(args.store_dir)
+    schedules: dict[frozenset[int], object] = {}
+    rng = random.Random(args.seed)
+    agents = []
+    for i, channels in enumerate(instance.sets):
+        schedule = schedules.get(channels)
+        if schedule is None:
+            schedule = repro.build_schedule(
+                channels, args.universe, args.algorithm, store=store
+            )
+            schedules[channels] = schedule
+        wake = rng.randrange(args.wake_spread) if args.wake_spread > 0 else 0
+        leave = None
+        if args.churn > 0 and rng.random() < args.churn:
+            leave = wake + 1 + rng.randrange(args.churn_window)
+        agents.append(Agent(f"agent{i}", schedule, wake, leave))
+    return agents
+
+
+def _cmd_netsim(args: argparse.Namespace) -> int:
+    try:
+        agents = _netsim_population(args)
+        network = Network(agents)
+        engine = network.resolve_engine(args.engine)
+        contention: list[dict[str, int]] = []
+        start = time.perf_counter()
+        if engine == "vectorized":
+            population = Population.from_agents(agents)
+            net = simulate_population(population, args.horizon, chunk=args.chunk)
+            profile = net.discovery_profile()
+            cohorts = population.num_cohorts
+            distinct = len(population.schedules)
+            slots = net.slots_simulated
+            contention = channel_contention(net, top=3)
+        else:
+            result = network.run(args.horizon, chunk=args.chunk, engine=engine)
+            profile = result.discovery_profile()
+            cohorts = distinct = None
+            slots = args.horizon
+        seconds = time.perf_counter() - start
+        stats = summarize_discovery(profile)
+        parity = None
+        if args.certify > 0:
+            sample = Network(agents[: args.certify])
+            reference = sample.run(
+                args.horizon, chunk=args.chunk, engine="pairwise"
+            )
+            candidate = sample.run(
+                args.horizon, chunk=args.chunk, engine="vectorized"
+            )
+            parity = {
+                "agents": len(sample.agents),
+                "events": len(reference.events),
+                "identical": candidate.events == reference.events,
+            }
+    except ValueError as exc:
+        print(f"netsim failed: {exc}")
+        return 1
+    coverage = (
+        100.0 * stats.met_pairs / stats.overlapping_pairs
+        if stats.overlapping_pairs
+        else 100.0
+    )
+    if args.as_json:
+        print(
+            json.dumps(
+                {
+                    "workload": args.workload,
+                    "universe": args.universe,
+                    "algorithm": args.algorithm,
+                    "seed": args.seed,
+                    "engine": engine,
+                    "agents": len(agents),
+                    "cohorts": cohorts,
+                    "distinct_schedules": distinct,
+                    "overlapping_pairs": stats.overlapping_pairs,
+                    "met_pairs": stats.met_pairs,
+                    "discovery_time": stats.discovery_time,
+                    "milestones": {
+                        f"{q:g}": slot for q, slot in stats.milestones.items()
+                    },
+                    "slots_simulated": slots,
+                    "horizon": args.horizon,
+                    "contention": contention,
+                    "parity": parity,
+                    "seconds": round(seconds, 4),
+                },
+                sort_keys=True,
+            )
+        )
+    else:
+        print(f"workload:  {args.workload} (universe {args.universe}, seed {args.seed})")
+        line = f"agents:    {len(agents)}"
+        if cohorts is not None:
+            line += f" ({cohorts} cohorts, {distinct} distinct schedules)"
+        print(line)
+        print(f"algorithm: {args.algorithm}")
+        print(f"engine:    {engine}")
+        print(
+            f"overlapping pairs: {stats.overlapping_pairs} "
+            f"({stats.met_pairs} met, {coverage:.1f}%)"
+        )
+        if stats.discovery_time is not None:
+            print(f"full discovery: slot {stats.discovery_time}")
+        else:
+            print(f"full discovery: not reached within {args.horizon} slots")
+        milestones = " | ".join(
+            f"{q:.0%} @ {'-' if slot is None else slot}"
+            for q, slot in stats.milestones.items()
+            if q < 1.0
+        )
+        print(f"milestones: {milestones}")
+        print(f"slots simulated: {slots} / {args.horizon}")
+        for row in contention:
+            print(
+                f"channel {row['channel']}: {row['contended_slots']} "
+                f"contended slots, {row['colocated_pairs']} co-located pairs"
+            )
+        if parity is not None:
+            verdict = "bit-identical" if parity["identical"] else "MISMATCH"
+            print(
+                f"parity: {parity['agents']}-agent subsample {verdict} "
+                f"across engines ({parity['events']} events)"
+            )
+        print(f"wall time: {seconds:.2f} s")
+    if parity is not None and not parity["identical"]:
+        return 1
+    return 0 if stats.discovery_time is not None else 1
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -606,6 +901,7 @@ _HANDLERS = {
     "rendezvous": _cmd_rendezvous,
     "bound": _cmd_bound,
     "simulate": _cmd_simulate,
+    "netsim": _cmd_netsim,
     "sweep": _cmd_sweep,
     "serve": _cmd_serve,
     "store": _cmd_store,

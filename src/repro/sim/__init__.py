@@ -11,8 +11,28 @@ from repro.sim.agent import ASLEEP, Agent
 from repro.sim.events import RendezvousEvent
 from repro.sim.handshake import ChirpAndListen, HandshakeResult
 from repro.sim.trace import render_trace
-from repro.sim.metrics import TTRStats, summarize_profile, summarize_ttrs
-from repro.sim.network import Network, SimulationResult
+from repro.sim.metrics import (
+    DiscoveryProfile,
+    DiscoveryStats,
+    TTRStats,
+    channel_contention,
+    discovery_throughput,
+    summarize_discovery,
+    summarize_profile,
+    summarize_ttrs,
+)
+from repro.sim.netcore import (
+    EventWheel,
+    NetResult,
+    Population,
+    simulate_population,
+)
+from repro.sim.network import (
+    AUTO_VECTORIZE_MIN_AGENTS,
+    ENGINES,
+    Network,
+    SimulationResult,
+)
 from repro.sim.runner import (
     MeasuredPair,
     SweepRunner,
@@ -41,9 +61,20 @@ __all__ = [
     "render_trace",
     "Network",
     "SimulationResult",
+    "ENGINES",
+    "AUTO_VECTORIZE_MIN_AGENTS",
+    "EventWheel",
+    "NetResult",
+    "Population",
+    "simulate_population",
     "TTRStats",
     "summarize_ttrs",
     "summarize_profile",
+    "DiscoveryProfile",
+    "DiscoveryStats",
+    "summarize_discovery",
+    "discovery_throughput",
+    "channel_contention",
     "Instance",
     "random_subsets",
     "single_overlap",

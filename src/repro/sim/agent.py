@@ -32,35 +32,52 @@ class Agent:
         The agent's channel-hopping schedule (local time).
     wake_time:
         Global slot at which the agent starts executing its schedule.
+    leave_time:
+        Global slot at which the agent departs (churn) and stops
+        accessing any channel; ``None`` means it stays forever.  An
+        agent whose ``leave_time`` does not exceed its ``wake_time``
+        never transmits at all.
     """
 
     name: str
     schedule: Schedule
     wake_time: int = 0
+    leave_time: int | None = None
     channels: frozenset[int] = field(init=False)
 
     def __post_init__(self) -> None:
         if self.wake_time < 0:
             raise ValueError(f"wake_time must be nonnegative, got {self.wake_time}")
+        if self.leave_time is not None and self.leave_time < 0:
+            raise ValueError(
+                f"leave_time must be nonnegative, got {self.leave_time}"
+            )
         self.channels = self.schedule.channels
 
     def channel_at_global(self, t: int) -> int:
-        """Channel at global slot ``t`` or :data:`ASLEEP` if not yet awake."""
+        """Channel at global slot ``t``, or :data:`ASLEEP` outside the
+        agent's awake window ``[wake_time, leave_time)``."""
         if t < self.wake_time:
+            return ASLEEP
+        if self.leave_time is not None and t >= self.leave_time:
             return ASLEEP
         return self.schedule.channel_at(t - self.wake_time)
 
     def materialize_global(self, start: int, stop: int) -> np.ndarray:
-        """Channels over global slots ``[start, stop)``, ASLEEP-padded."""
+        """Channels over global slots ``[start, stop)``, ASLEEP-padded
+        before ``wake_time`` and from ``leave_time`` on."""
         if stop < start:
             raise ValueError(f"empty window: {start}..{stop}")
         out = np.full(stop - start, ASLEEP, dtype=np.int64)
         awake_from = max(start, self.wake_time)
-        if awake_from < stop:
+        awake_until = stop
+        if self.leave_time is not None:
+            awake_until = min(stop, self.leave_time)
+        if awake_from < awake_until:
             local_start = awake_from - self.wake_time
-            local_stop = stop - self.wake_time
-            out[awake_from - start :] = self.schedule.materialize(
-                local_start, local_stop
+            local_stop = awake_until - self.wake_time
+            out[awake_from - start : awake_until - start] = (
+                self.schedule.materialize(local_start, local_stop)
             )
         return out
 

@@ -1,0 +1,522 @@
+"""Vectorized network-scale discovery simulation core.
+
+The pairwise reference (:meth:`repro.sim.network.Network.run` with
+``engine="pairwise"``) walks an ``O(num_pairs * horizon)`` Python loop
+over :class:`~repro.sim.agent.Agent` objects — fine for a handful of
+radios, hopeless for the paper's real setting of thousands discovering
+each other on shared spectrum.  This module steps the *whole population*
+as numpy columns instead:
+
+* **Cohorts.**  Agents are grouped into cohorts of identical behaviour —
+  same schedule object, same wake-up slot, same departure slot.  Every
+  member of a cohort occupies the same channel at every slot, so the
+  simulation runs over ``R`` cohort rows rather than ``N`` agents, and
+  agent-pair results expand combinatorially afterwards (10k agents
+  sharing a few hundred distinct schedules pay for each row — and each
+  period table, including store memmaps — exactly once).
+* **Chunked channel matrix.**  Time advances in chunks; each chunk
+  assembles an ``(active cohorts, chunk)`` channel matrix with one
+  :meth:`~repro.core.schedule.Schedule.channel_gather` call per distinct
+  schedule — the same bulk hook the streaming verification engine tiles
+  with, so store-backed schedules answer from their shared memmap.
+* **Bucketed rendezvous detection.**  Per slot, the channel column is
+  bucketed by channel value (a counting sort): only channels holding at
+  least two cohorts can produce a rendezvous, and candidate cohort pairs
+  are filtered against a pending matrix — *first-meet retirement* —
+  so no pair is ever reported twice and the simulation retires as soon
+  as every overlapping pair has met.
+* **Event wheel.**  Wake (join) and leave (churn) events live in a
+  time-chunked :class:`EventWheel`; each chunk pops only its own bucket,
+  so maintaining the active-cohort set costs ``O(events)`` over the
+  whole run rather than ``O(R)`` per chunk.
+
+The result is columnar too: :class:`NetResult` keeps cohort-level event
+arrays plus per-channel contention counters, derives population metrics
+(through :class:`~repro.sim.metrics.DiscoveryProfile`) without ever
+materializing the quadratic agent-pair set, and can expand to the exact
+per-pair events of the pairwise reference when the population is small
+enough to want them.  The two engines are certified bit-identical in
+``tests/sim/test_netcore.py``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.schedule import Schedule
+from repro.sim.agent import ASLEEP, Agent
+from repro.sim.metrics import DiscoveryProfile
+
+__all__ = [
+    "Population",
+    "EventWheel",
+    "NetResult",
+    "simulate_population",
+    "DEFAULT_CHUNK",
+    "LEAVE_NEVER",
+    "WAKE",
+    "LEAVE",
+]
+
+#: Default time-chunk length (slots) for channel-matrix assembly.
+DEFAULT_CHUNK = 4096
+
+#: Sentinel departure slot for cohorts that never leave.
+LEAVE_NEVER = np.iinfo(np.int64).max
+
+#: Event-wheel kind tag: a cohort wakes (joins) at the event slot.
+WAKE = 0
+
+#: Event-wheel kind tag: a cohort leaves at the event slot.
+LEAVE = 1
+
+
+class EventWheel:
+    """Time-chunked buckets of wake/leave events.
+
+    Events are pushed once up front and popped exactly when the chunk
+    containing their slot begins, so the active-cohort set is maintained
+    with ``O(total events)`` work over a whole simulation instead of a
+    full population scan per chunk.
+    """
+
+    def __init__(self, chunk: int):
+        if chunk <= 0:
+            raise ValueError(f"chunk must be positive, got {chunk}")
+        self.chunk = chunk
+        self._buckets: dict[int, list[tuple[int, int, int]]] = {}
+
+    def push(self, time: int, kind: int, cohort: int) -> None:
+        """Schedule ``(time, kind, cohort)`` into its chunk bucket."""
+        if time < 0:
+            raise ValueError(f"event time must be nonnegative, got {time}")
+        self._buckets.setdefault(time // self.chunk, []).append(
+            (time, kind, cohort)
+        )
+
+    def pop(self, index: int) -> list[tuple[int, int, int]]:
+        """Drain chunk ``index``'s bucket, sorted by (time, kind, cohort)."""
+        return sorted(self._buckets.pop(index, ()))
+
+    def __len__(self) -> int:
+        """Number of events not yet popped."""
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+
+class Population:
+    """Columnar population: distinct schedules plus per-cohort columns.
+
+    A *cohort* groups agents with identical behaviour — the same
+    schedule object, wake slot, and departure slot — so the simulation
+    core scales with the number of distinct behaviours rather than the
+    number of agents.  Construction is columnar
+    (:meth:`from_columns`) with an object-level convenience wrapper
+    (:meth:`from_agents`) that deduplicates schedules by identity.
+    """
+
+    def __init__(
+        self,
+        schedules: Sequence[Schedule],
+        cohort_schedule: np.ndarray,
+        cohort_wake: np.ndarray,
+        cohort_leave: np.ndarray,
+        cohort_members: list[np.ndarray],
+        num_agents: int,
+    ):
+        self.schedules = list(schedules)
+        self.cohort_schedule = np.asarray(cohort_schedule, dtype=np.int64)
+        self.cohort_wake = np.asarray(cohort_wake, dtype=np.int64)
+        self.cohort_leave = np.asarray(cohort_leave, dtype=np.int64)
+        self.cohort_members = cohort_members
+        self.num_agents = num_agents
+        self.cohort_size = np.array(
+            [len(m) for m in cohort_members], dtype=np.int64
+        )
+        channels: set[int] = set()
+        for schedule in self.schedules:
+            channels |= schedule.channels
+        if channels and min(channels) < 0:
+            raise ValueError("channel values must be nonnegative")
+        #: One past the largest channel value any schedule visits.
+        self.num_channels = (max(channels) + 1) if channels else 0
+
+    @property
+    def num_cohorts(self) -> int:
+        """Number of distinct (schedule, wake, leave) cohorts."""
+        return len(self.cohort_schedule)
+
+    @classmethod
+    def from_columns(
+        cls,
+        schedules: Sequence[Schedule],
+        schedule_index: np.ndarray,
+        wake: np.ndarray,
+        leave: np.ndarray | None = None,
+    ) -> "Population":
+        """Build from per-agent columns, grouping cohorts vectorized.
+
+        ``schedule_index[a]`` names agent ``a``'s schedule in
+        ``schedules``; ``wake[a]`` its wake slot; ``leave[a]`` its
+        departure slot (``LEAVE_NEVER`` or ``None`` for none).  Cohorts
+        come out sorted lexicographically by (schedule, wake, leave),
+        so cohort numbering is deterministic.
+        """
+        schedule_index = np.asarray(schedule_index, dtype=np.int64)
+        wake = np.asarray(wake, dtype=np.int64)
+        if leave is None:
+            leave = np.full(len(wake), LEAVE_NEVER, dtype=np.int64)
+        else:
+            leave = np.asarray(leave, dtype=np.int64)
+        if not (len(schedule_index) == len(wake) == len(leave)):
+            raise ValueError("population columns must have equal length")
+        if len(wake) and wake.min() < 0:
+            raise ValueError("wake times must be nonnegative")
+        if len(schedule_index) and (
+            schedule_index.min() < 0 or schedule_index.max() >= len(schedules)
+        ):
+            raise ValueError("schedule_index out of range")
+        columns = np.stack([schedule_index, wake, leave])
+        keys, inverse = np.unique(columns, axis=1, return_inverse=True)
+        inverse = inverse.reshape(-1)
+        order = np.argsort(inverse, kind="stable")
+        bounds = np.searchsorted(
+            inverse[order], np.arange(keys.shape[1] + 1)
+        )
+        members = [
+            order[bounds[c] : bounds[c + 1]] for c in range(keys.shape[1])
+        ]
+        return cls(
+            schedules,
+            keys[0],
+            keys[1],
+            keys[2],
+            members,
+            num_agents=len(wake),
+        )
+
+    @classmethod
+    def from_agents(cls, agents: Sequence[Agent]) -> "Population":
+        """Build from :class:`Agent` objects, sharing schedules by identity.
+
+        Agents holding the *same schedule object* share one period
+        table (and one cohort, when wake and leave also agree); equal
+        but distinct schedule objects simply land in separate cohorts —
+        a performance distinction, never a correctness one.
+        """
+        schedules: list[Schedule] = []
+        index_of: dict[int, int] = {}
+        schedule_index = np.empty(len(agents), dtype=np.int64)
+        wake = np.empty(len(agents), dtype=np.int64)
+        leave = np.full(len(agents), LEAVE_NEVER, dtype=np.int64)
+        for a, agent in enumerate(agents):
+            key = id(agent.schedule)
+            g = index_of.get(key)
+            if g is None:
+                g = len(schedules)
+                schedules.append(agent.schedule)
+                index_of[key] = g
+            schedule_index[a] = g
+            wake[a] = agent.wake_time
+            if agent.leave_time is not None:
+                leave[a] = agent.leave_time
+        return cls.from_columns(schedules, schedule_index, wake, leave)
+
+    def schedule_overlap(self) -> np.ndarray:
+        """Boolean (cohort, cohort) matrix: do the channel sets intersect?
+
+        Computed at the distinct-schedule level (a small membership
+        matmul) and expanded to cohorts by indexing, so the cost scales
+        with distinct schedules rather than cohorts.
+        """
+        values = sorted(
+            {c for schedule in self.schedules for c in schedule.channels}
+        )
+        column = {c: i for i, c in enumerate(values)}
+        membership = np.zeros((len(self.schedules), len(values)))
+        for g, schedule in enumerate(self.schedules):
+            for c in schedule.channels:
+                membership[g, column[c]] = 1.0
+        overlap = (membership @ membership.T) > 0
+        return overlap[self.cohort_schedule][:, self.cohort_schedule]
+
+
+class NetResult:
+    """Columnar outcome of one :func:`simulate_population` run.
+
+    Events stay at cohort granularity: ``pair_events`` holds one row per
+    *cohort pair* first meeting, ``intra_events`` one row per cohort of
+    two or more members (its internal pairs all meet the slot the
+    cohort wakes).  Population metrics derive from these plus the
+    cohort sizes without ever materializing agent pairs; the exact
+    agent-pair events of the pairwise reference are recovered on demand
+    by :meth:`iter_agent_events`.
+
+    Contention counters cover global slots ``[0, slots_simulated)`` —
+    with ``early_stop`` the simulator retires once every overlapping
+    pair has met, so ``slots_simulated`` can be well short of the
+    horizon.
+    """
+
+    def __init__(
+        self,
+        population: Population,
+        horizon: int,
+        slots_simulated: int,
+        pair_events: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+        intra_events: tuple[np.ndarray, np.ndarray, np.ndarray],
+        contended_slots: np.ndarray,
+        pair_colocations: np.ndarray,
+        overlapping_pairs: int,
+        unmet_cohort_pairs: int,
+    ):
+        self.population = population
+        self.horizon = horizon
+        self.slots_simulated = slots_simulated
+        self.event_i, self.event_j, self.event_time, self.event_channel = (
+            pair_events
+        )
+        self.intra_cohort, self.intra_time, self.intra_channel = intra_events
+        self.contended_slots = contended_slots
+        self.pair_colocations = pair_colocations
+        self.overlapping_pairs = overlapping_pairs
+        self.unmet_cohort_pairs = unmet_cohort_pairs
+
+    def met_pairs(self) -> int:
+        """Number of agent pairs that met, weighted by cohort sizes."""
+        sizes = self.population.cohort_size
+        inter = int(np.sum(sizes[self.event_i] * sizes[self.event_j]))
+        intra_sizes = sizes[self.intra_cohort]
+        intra = int(np.sum(intra_sizes * (intra_sizes - 1) // 2))
+        return inter + intra
+
+    def all_discovered(self) -> bool:
+        """Whether every overlapping agent pair met within the horizon."""
+        return self.met_pairs() == self.overlapping_pairs
+
+    def discovery_time(self) -> int | None:
+        """Global slot by which every overlapping pair has met (or None)."""
+        if not self.all_discovered():
+            return None
+        times = np.concatenate([self.event_time, self.intra_time])
+        return int(times.max()) if times.size else 0
+
+    def discovery_profile(self) -> DiscoveryProfile:
+        """First-meet times with agent-pair weights, sorted by time."""
+        sizes = self.population.cohort_size
+        intra_sizes = sizes[self.intra_cohort]
+        times = np.concatenate([self.intra_time, self.event_time])
+        weights = np.concatenate(
+            [
+                intra_sizes * (intra_sizes - 1) // 2,
+                sizes[self.event_i] * sizes[self.event_j],
+            ]
+        )
+        order = np.argsort(times, kind="stable")
+        return DiscoveryProfile(
+            times=times[order],
+            weights=weights[order],
+            overlapping_pairs=self.overlapping_pairs,
+        )
+
+    def iter_agent_events(self):
+        """Yield ``(agent_i, agent_j, time, channel)`` per first meeting.
+
+        Expands cohort events combinatorially — quadratic in cohort
+        sizes, so intended for populations small enough to want the
+        pairwise representation (the :class:`~repro.sim.network.Network`
+        facade and parity tests), not for the 10k-agent regime.
+        """
+        members = self.population.cohort_members
+        for c, t, ch in zip(self.intra_cohort, self.intra_time, self.intra_channel):
+            group = members[c]
+            for x in range(len(group)):
+                for y in range(x + 1, len(group)):
+                    yield int(group[x]), int(group[y]), int(t), int(ch)
+        for i, j, t, ch in zip(
+            self.event_i, self.event_j, self.event_time, self.event_channel
+        ):
+            for a in members[i]:
+                for b in members[j]:
+                    yield int(a), int(b), int(t), int(ch)
+
+
+def _assemble_rows(
+    population: Population,
+    rows_idx: np.ndarray,
+    start: int,
+    stop: int,
+) -> np.ndarray:
+    """Channel matrix for cohorts ``rows_idx`` over ``[start, stop)``.
+
+    One :meth:`~repro.core.schedule.Schedule.channel_gather` call per
+    distinct schedule covers every cohort row sharing it; pre-wake and
+    post-leave slots come back as :data:`~repro.sim.agent.ASLEEP`.
+    """
+    width = stop - start
+    rows = np.full((rows_idx.size, width), ASLEEP, dtype=np.int64)
+    offsets = np.arange(start, stop, dtype=np.int64)
+    scheds = population.cohort_schedule[rows_idx]
+    for g in np.unique(scheds):
+        sel = np.nonzero(scheds == g)[0]
+        cohorts = rows_idx[sel]
+        local = offsets[None, :] - population.cohort_wake[cohorts, None]
+        valid = (local >= 0) & (
+            offsets[None, :] < population.cohort_leave[cohorts, None]
+        )
+        gathered = population.schedules[g].channel_gather(
+            np.where(valid, local, 0)
+        )
+        rows[sel] = np.where(valid, gathered, ASLEEP)
+    return rows
+
+
+def simulate_population(
+    population: Population,
+    horizon: int,
+    chunk: int = DEFAULT_CHUNK,
+    early_stop: bool = True,
+) -> NetResult:
+    """Simulate ``horizon`` slots over the whole population, vectorized.
+
+    Per chunk: pop the event wheel to update the active-cohort set,
+    assemble the ``(active cohorts, chunk)`` channel matrix, then bucket
+    each slot's channel column — cohort pairs sharing a bucket and still
+    pending are recorded (first-meet retirement) and per-channel
+    contention counters accumulate.  With ``early_stop`` (the default)
+    the scan retires at the slot the last pending pair meets;
+    ``early_stop=False`` scans the full horizon so contention metrics
+    cover every slot.
+
+    Certified bit-identical to the pairwise reference
+    (``Network.run(engine="pairwise")``) in ``tests/sim/test_netcore.py``.
+    """
+    if horizon <= 0:
+        raise ValueError(f"horizon must be positive, got {horizon}")
+    if chunk <= 0:
+        raise ValueError(f"chunk must be positive, got {chunk}")
+    sizes = population.cohort_size
+    num_cohorts = population.num_cohorts
+    overlap = population.schedule_overlap()
+    np.fill_diagonal(overlap, False)
+    # The reference counts every channel-set-sharing pair as
+    # overlapping, whether or not it ever wakes; weight cohort pairs by
+    # member counts and add each cohort's internal pairs.
+    cross = overlap @ sizes.astype(np.float64)
+    overlapping_pairs = int(round(float(sizes @ cross) / 2))
+    overlapping_pairs += int(np.sum(sizes * (sizes - 1) // 2))
+
+    # A cohort participates only if it is awake before both the horizon
+    # and its own departure.
+    alive = (population.cohort_wake < horizon) & (
+        population.cohort_wake < population.cohort_leave
+    )
+    pending = overlap
+    pending[~alive, :] = False
+    pending[:, ~alive] = False
+    remaining = int(np.count_nonzero(np.triu(pending, 1)))
+
+    # Intra-cohort pairs share one behaviour: they meet the slot the
+    # cohort wakes, on the schedule's first channel.
+    intra_mask = alive & (sizes >= 2)
+    intra_cohort = np.nonzero(intra_mask)[0]
+    intra_time = population.cohort_wake[intra_cohort]
+    intra_channel = np.array(
+        [
+            population.schedules[g].channel_at(0)
+            for g in population.cohort_schedule[intra_cohort]
+        ],
+        dtype=np.int64,
+    )
+
+    wheel = EventWheel(chunk)
+    for c in np.nonzero(alive)[0]:
+        wheel.push(int(population.cohort_wake[c]), WAKE, int(c))
+        if population.cohort_leave[c] < horizon:
+            wheel.push(int(population.cohort_leave[c]), LEAVE, int(c))
+
+    num_channels = population.num_channels
+    contended_slots = np.zeros(num_channels, dtype=np.int64)
+    pair_colocations = np.zeros(num_channels, dtype=np.int64)
+    ev_i: list[np.ndarray] = []
+    ev_j: list[np.ndarray] = []
+    ev_t: list[np.ndarray] = []
+    ev_c: list[np.ndarray] = []
+
+    active = np.zeros(num_cohorts, dtype=bool)
+    slots_simulated = 0
+    done = early_stop and remaining == 0
+    for start in range(0, horizon, chunk):
+        if done:
+            break
+        stop = min(start + chunk, horizon)
+        leaves: list[int] = []
+        for _, kind, cohort in wheel.pop(start // chunk):
+            if kind == WAKE:
+                active[cohort] = True
+            else:
+                leaves.append(cohort)
+        rows_idx = np.nonzero(active)[0]
+        if rows_idx.size == 0:
+            slots_simulated = stop
+            for cohort in leaves:
+                active[cohort] = False
+            continue
+        rows = _assemble_rows(population, rows_idx, start, stop)
+        sizes_rows = sizes[rows_idx]
+        for s in range(stop - start):
+            column = rows[:, s]
+            awake = column >= 0
+            slots_simulated = start + s + 1
+            if not awake.any():
+                continue
+            values = column[awake]
+            agents_on = np.bincount(
+                values, weights=sizes_rows[awake], minlength=num_channels
+            ).astype(np.int64)
+            crowded = agents_on >= 2
+            contended_slots += crowded
+            pair_colocations += np.where(
+                crowded, agents_on * (agents_on - 1) // 2, 0
+            )
+            if remaining:
+                counts = np.bincount(values, minlength=num_channels)
+                for channel in np.nonzero(counts >= 2)[0]:
+                    bucket = rows_idx[awake & (column == channel)]
+                    sub = pending[np.ix_(bucket, bucket)]
+                    if not sub.any():
+                        continue
+                    ii, jj = np.nonzero(np.triu(sub, 1))
+                    first, second = bucket[ii], bucket[jj]
+                    ev_i.append(first)
+                    ev_j.append(second)
+                    ev_t.append(np.full(first.size, start + s, dtype=np.int64))
+                    ev_c.append(np.full(first.size, channel, dtype=np.int64))
+                    pending[first, second] = False
+                    pending[second, first] = False
+                    remaining -= first.size
+            if early_stop and remaining == 0:
+                done = True
+                break
+        for cohort in leaves:
+            active[cohort] = False
+
+    def _concat(parts: list[np.ndarray]) -> np.ndarray:
+        return (
+            np.concatenate(parts)
+            if parts
+            else np.empty(0, dtype=np.int64)
+        )
+
+    return NetResult(
+        population,
+        horizon,
+        slots_simulated,
+        (_concat(ev_i), _concat(ev_j), _concat(ev_t), _concat(ev_c)),
+        (intra_cohort, intra_time, intra_channel),
+        contended_slots,
+        pair_colocations,
+        overlapping_pairs,
+        unmet_cohort_pairs=remaining,
+    )

@@ -1,9 +1,27 @@
 """Discrete-time multi-agent rendezvous simulator.
 
 Simulates the paper's model directly: a global slotted clock, agents that
-wake at arbitrary slots and then follow their deterministic schedules,
-and pairwise rendezvous whenever two awake agents access the same channel
-in the same slot.  Detection is vectorized over time windows.
+wake at arbitrary slots (and may leave — churn) while following their
+deterministic schedules, and pairwise rendezvous whenever two awake
+agents access the same channel in the same slot.
+
+:class:`Network` is a thin facade over two engines producing
+bit-identical events:
+
+* ``engine="pairwise"`` — the certification reference: an
+  ``O(num_pairs * horizon)`` loop comparing materialized agent windows,
+  kept deliberately simple (it only skips agents with no pending pair).
+* ``engine="vectorized"`` — the network-scale core
+  (:mod:`repro.sim.netcore`): the whole population stepped as numpy
+  cohort columns with bucketed per-slot detection, built for thousands
+  of agents.
+* ``engine="auto"`` — pairwise below
+  :data:`AUTO_VECTORIZE_MIN_AGENTS` agents, vectorized from there up.
+
+The split mirrors the verification stack, where
+``ttr_sweep_stream_serial`` certifies the streaming engine: the slow
+loop stays verbatim as the reference and the fast path must match it
+exactly (``tests/sim/test_netcore.py``).
 """
 
 from __future__ import annotations
@@ -14,8 +32,17 @@ import numpy as np
 
 from repro.sim.agent import ASLEEP, Agent
 from repro.sim.events import RendezvousEvent
+from repro.sim.metrics import DiscoveryProfile
 
-__all__ = ["Network", "SimulationResult"]
+__all__ = ["Network", "SimulationResult", "ENGINES", "AUTO_VECTORIZE_MIN_AGENTS"]
+
+#: Engine names accepted by :meth:`Network.run`.
+ENGINES = ("auto", "pairwise", "vectorized")
+
+#: Population size at which ``engine="auto"`` switches to the
+#: vectorized core: below it the pairwise loop's simplicity wins,
+#: above it the cohort-columnar scan does.
+AUTO_VECTORIZE_MIN_AGENTS = 64
 
 
 class SimulationResult:
@@ -64,9 +91,26 @@ class SimulationResult:
         """Per-pair time-to-rendezvous (slots after both agents woke)."""
         return {pair: e.ttr for pair, e in self.events.items()}
 
+    def discovery_profile(self) -> DiscoveryProfile:
+        """First-meet times (weight 1 each) for the population metrics.
+
+        The pairwise-engine counterpart of
+        :meth:`repro.sim.netcore.NetResult.discovery_profile`: feed it
+        to :func:`~repro.sim.metrics.summarize_discovery` or
+        :func:`~repro.sim.metrics.discovery_throughput`.
+        """
+        times = np.sort(
+            np.array([e.time for e in self.events.values()], dtype=np.int64)
+        )
+        return DiscoveryProfile(
+            times=times,
+            weights=np.ones(times.size, dtype=np.int64),
+            overlapping_pairs=len(self.overlapping_pairs()),
+        )
+
 
 class Network:
-    """A set of agents sharing a slotted spectrum."""
+    """A set of agents sharing a slotted spectrum (engine facade)."""
 
     def __init__(self, agents: Sequence[Agent]):
         names = [a.name for a in agents]
@@ -74,14 +118,40 @@ class Network:
             raise ValueError("agent names must be unique")
         self.agents = list(agents)
 
-    def run(self, horizon: int, chunk: int = 1 << 14) -> SimulationResult:
+    def resolve_engine(self, engine: str) -> str:
+        """Map an engine request to the concrete engine ``run`` will use."""
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}"
+            )
+        if engine == "auto":
+            if len(self.agents) >= AUTO_VECTORIZE_MIN_AGENTS:
+                return "vectorized"
+            return "pairwise"
+        return engine
+
+    def run(
+        self, horizon: int, chunk: int = 1 << 14, engine: str = "auto"
+    ) -> SimulationResult:
         """Simulate ``horizon`` slots; record each pair's first rendezvous.
 
-        Complexity ``O(num_pairs * horizon)`` with numpy constant factors;
-        windows are processed in chunks to bound memory.
+        Both engines produce bit-identical events; see the module
+        docstring for the dispatch rule.  ``chunk`` bounds the slot
+        window materialized at once on either path.
         """
         if horizon <= 0:
             raise ValueError(f"horizon must be positive, got {horizon}")
+        if self.resolve_engine(engine) == "vectorized":
+            return self._run_vectorized(horizon, chunk)
+        return self._run_pairwise(horizon, chunk)
+
+    def _run_pairwise(self, horizon: int, chunk: int) -> SimulationResult:
+        """The certification reference: compare each pending pair's windows.
+
+        Complexity ``O(num_pairs * horizon)`` with numpy constant factors;
+        windows are processed in chunks to bound memory, and only agents
+        still holding a pending pair are materialized each chunk.
+        """
         pending: set[tuple[int, int]] = set()
         for i in range(len(self.agents)):
             for j in range(i + 1, len(self.agents)):
@@ -92,7 +162,10 @@ class Network:
             if not pending:
                 break
             stop = min(start + chunk, horizon)
-            windows = [a.materialize_global(start, stop) for a in self.agents]
+            windows = {
+                i: self.agents[i].materialize_global(start, stop)
+                for i in sorted({index for pair in pending for index in pair})
+            }
             for i, j in sorted(pending):
                 row_i, row_j = windows[i], windows[j]
                 hits = np.nonzero((row_i == row_j) & (row_i != ASLEEP))[0]
@@ -109,4 +182,23 @@ class Network:
                     ttr=t - max(a.wake_time, b.wake_time),
                 )
                 pending.discard((i, j))
+        return SimulationResult(self.agents, events, horizon)
+
+    def _run_vectorized(self, horizon: int, chunk: int) -> SimulationResult:
+        """Run the columnar core and expand cohort events to pair events."""
+        from repro.sim.netcore import Population, simulate_population
+
+        population = Population.from_agents(self.agents)
+        result = simulate_population(population, horizon, chunk=chunk)
+        events: dict[tuple[str, str], RendezvousEvent] = {}
+        for ai, bi, t, channel in result.iter_agent_events():
+            a, b = self.agents[ai], self.agents[bi]
+            key = tuple(sorted((a.name, b.name)))
+            events[key] = RendezvousEvent(
+                time=t,
+                first=key[0],
+                second=key[1],
+                channel=channel,
+                ttr=t - max(a.wake_time, b.wake_time),
+            )
         return SimulationResult(self.agents, events, horizon)

@@ -48,3 +48,34 @@ class TestAgent:
         c = Agent("c", CyclicSchedule([4]))
         assert a.overlaps(b)
         assert not a.overlaps(c)
+
+
+class TestChurn:
+    def test_asleep_from_leave_time(self):
+        a = Agent("a", CyclicSchedule([1, 2]), wake_time=2, leave_time=5)
+        assert a.channel_at_global(4) == 1
+        assert a.channel_at_global(5) == ASLEEP
+        assert a.channel_at_global(100) == ASLEEP
+
+    def test_materialize_global_pads_after_leave(self):
+        a = Agent("a", CyclicSchedule([1, 2]), wake_time=1, leave_time=4)
+        window = a.materialize_global(0, 6)
+        assert list(window) == [ASLEEP, 1, 2, 1, ASLEEP, ASLEEP]
+
+    def test_materialize_window_entirely_after_leave(self):
+        a = Agent("a", CyclicSchedule([1, 2]), leave_time=3)
+        assert list(a.materialize_global(10, 14)) == [ASLEEP] * 4
+
+    def test_leave_before_wake_never_transmits(self):
+        a = Agent("a", CyclicSchedule([1]), wake_time=5, leave_time=5)
+        assert list(a.materialize_global(0, 10)) == [ASLEEP] * 10
+        assert a.channel_at_global(5) == ASLEEP
+
+    def test_negative_leave_rejected(self):
+        with pytest.raises(ValueError, match="leave_time"):
+            Agent("a", CyclicSchedule([1]), leave_time=-1)
+
+    def test_default_stays_forever(self):
+        a = Agent("a", CyclicSchedule([3]))
+        assert a.leave_time is None
+        assert a.channel_at_global(10**9) == 3

@@ -1,10 +1,17 @@
-"""Tests for TTR metrics."""
+"""Tests for TTR and population-discovery metrics."""
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
-from repro.sim.metrics import summarize_ttrs
+from repro.sim.metrics import (
+    DiscoveryProfile,
+    channel_contention,
+    discovery_throughput,
+    summarize_discovery,
+    summarize_ttrs,
+)
 
 
 class TestSummarize:
@@ -42,3 +49,102 @@ class TestSummarize:
         stats = summarize_ttrs([5, 1, 3])
         assert stats.minimum == 1
         assert stats.maximum == 5
+
+
+def profile(times, weights, total):
+    return DiscoveryProfile(
+        times=np.array(times, dtype=np.int64),
+        weights=np.array(weights, dtype=np.int64),
+        overlapping_pairs=total,
+    )
+
+
+class TestDiscoveryProfile:
+    def test_met_pairs_sums_weights(self):
+        assert profile([1, 4, 4], [2, 1, 3], 10).met_pairs == 6
+
+    def test_unsorted_times_rejected(self):
+        with pytest.raises(ValueError, match="sorted"):
+            profile([5, 3], [1, 1], 2)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="equal length"):
+            profile([1, 2], [1], 2)
+
+    def test_empty_profile(self):
+        assert profile([], [], 0).met_pairs == 0
+
+
+class TestSummarizeDiscovery:
+    def test_full_discovery_milestones(self):
+        # 10 pairs total: 5 met at slot 2, 4 at slot 7, 1 at slot 30.
+        stats = summarize_discovery(profile([2, 7, 30], [5, 4, 1], 10))
+        assert stats.met_pairs == 10
+        assert stats.discovery_time == 30
+        assert stats.milestones[0.5] == 2
+        assert stats.milestones[0.9] == 7
+        assert stats.milestones[0.99] == 30
+        assert stats.milestones[1.0] == 30
+
+    def test_partial_discovery(self):
+        stats = summarize_discovery(profile([2], [5], 10))
+        assert stats.discovery_time is None
+        assert stats.milestones[0.5] == 2
+        assert stats.milestones[0.9] is None
+
+    def test_zero_pairs_trivially_discovered(self):
+        stats = summarize_discovery(profile([], [], 0))
+        assert stats.discovery_time == 0
+        assert stats.milestones[1.0] == 0
+
+    def test_bad_quantile_rejected(self):
+        with pytest.raises(ValueError, match="quantile"):
+            summarize_discovery(profile([1], [1], 1), quantiles=(1.5,))
+
+    def test_as_row(self):
+        row = summarize_discovery(profile([2, 7], [1, 1], 2)).as_row()
+        assert row["discovery_time"] == 7
+        assert row["t0.5"] == 2
+        assert row["t1"] == 7
+
+
+class TestDiscoveryThroughput:
+    def test_breakpoints_merge_equal_times(self):
+        curve = discovery_throughput(profile([1, 1, 5], [2, 3, 4], 9))
+        assert curve == [(1, 5), (5, 9)]
+
+    def test_downsample_keeps_final_point(self):
+        times = list(range(100))
+        curve = discovery_throughput(
+            profile(times, [1] * 100, 100), num_points=5
+        )
+        assert len(curve) == 5
+        assert curve[-1] == (99, 100)
+
+    def test_empty(self):
+        assert discovery_throughput(profile([], [], 0)) == []
+
+
+class _FakeResult:
+    def __init__(self, contended, colocated):
+        self.contended_slots = np.array(contended, dtype=np.int64)
+        self.pair_colocations = np.array(colocated, dtype=np.int64)
+
+
+class TestChannelContention:
+    def test_ranked_by_colocated_pairs(self):
+        rows = channel_contention(_FakeResult([3, 0, 5], [4, 0, 90]))
+        assert [r["channel"] for r in rows] == [2, 0]
+        assert rows[0] == {
+            "channel": 2,
+            "contended_slots": 5,
+            "colocated_pairs": 90,
+        }
+
+    def test_top_trims(self):
+        rows = channel_contention(_FakeResult([1, 1, 1], [1, 2, 3]), top=1)
+        assert len(rows) == 1
+        assert rows[0]["channel"] == 2
+
+    def test_quiet_network_empty(self):
+        assert channel_contention(_FakeResult([0, 0], [0, 0])) == []

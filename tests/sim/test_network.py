@@ -92,6 +92,68 @@ class TestSimulationResult:
         assert result.discovery_time() is None
 
 
+class TestEngineSelection:
+    def _network(self, count):
+        schedule = ConstantSchedule(1)
+        return Network([Agent(f"a{i}", schedule) for i in range(count)])
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            self._network(2).resolve_engine("turbo")
+        with pytest.raises(ValueError, match="unknown engine"):
+            self._network(2).run(10, engine="turbo")
+
+    def test_explicit_engines_pass_through(self):
+        net = self._network(2)
+        assert net.resolve_engine("pairwise") == "pairwise"
+        assert net.resolve_engine("vectorized") == "vectorized"
+
+    def test_auto_threshold(self):
+        from repro.sim.network import AUTO_VECTORIZE_MIN_AGENTS
+
+        small = self._network(AUTO_VECTORIZE_MIN_AGENTS - 1)
+        large = self._network(AUTO_VECTORIZE_MIN_AGENTS)
+        assert small.resolve_engine("auto") == "pairwise"
+        assert large.resolve_engine("auto") == "vectorized"
+
+    def test_engines_agree_on_result_type(self):
+        agents = [
+            Agent("a", CyclicSchedule([1, 2])),
+            Agent("b", CyclicSchedule([2, 1])),
+            Agent("c", ConstantSchedule(1)),
+        ]
+        pairwise = Network(agents).run(100, engine="pairwise")
+        vectorized = Network(agents).run(100, engine="vectorized")
+        assert vectorized.events == pairwise.events
+        assert vectorized.overlapping_pairs() == pairwise.overlapping_pairs()
+
+
+class TestPairwiseMaterializeSkip:
+    def test_only_pending_agents_materialized(self, monkeypatch):
+        """The reference loop must not materialize agents with no pending
+        pair — met pairs and no-overlap agents stop paying per chunk."""
+        calls: dict[str, int] = {}
+        original = Agent.materialize_global
+
+        def spy(self, start, stop):
+            calls[self.name] = calls.get(self.name, 0) + 1
+            return original(self, start, stop)
+
+        monkeypatch.setattr(Agent, "materialize_global", spy)
+        agents = [
+            Agent("a", ConstantSchedule(1)),
+            Agent("b", CyclicSchedule([1, 2])),
+            Agent("d", ConstantSchedule(2), wake_time=20),
+            Agent("e", ConstantSchedule(7)),
+        ]
+        result = Network(agents).run(40, chunk=8, engine="pairwise")
+        # a-b meet at slot 0; b-d meet at slot 21 (third chunk); e
+        # overlaps nobody and must never be materialized.
+        assert result.events[("a", "b")].time == 0
+        assert result.events[("b", "d")].time == 21
+        assert calls == {"a": 1, "b": 3, "d": 3}
+
+
 class TestEndToEndPaperSchedules:
     def test_paper_schedules_full_discovery(self):
         """Five agents with overlapping sets, paper algorithm: everyone

@@ -111,6 +111,93 @@ class TestSimulateCommand:
         assert "unmet" in out
 
 
+class TestNetsimCommand:
+    ARGS = [
+        "netsim", "--workload", "random_subsets", "--universe", "12",
+        "--k", "3", "--agents", "120", "--wake-spread", "8",
+        "--horizon", "100000",
+    ]
+
+    def test_vectorized_run(self, capsys):
+        code = main(self.ARGS)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "engine:    vectorized" in out
+        assert "cohorts" in out
+        assert "full discovery: slot" in out
+        assert "contended slots" in out
+
+    def test_certify_subsample_parity(self, capsys):
+        code = main(self.ARGS + ["--certify", "30"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "30-agent subsample bit-identical" in out
+
+    def test_json_round_trips(self, capsys):
+        import json
+
+        code = main(self.ARGS + ["--json", "--certify", "20", "--seed", "3"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["engine"] == "vectorized"
+        assert payload["agents"] == 120
+        assert payload["met_pairs"] == payload["overlapping_pairs"]
+        assert payload["discovery_time"] is not None
+        assert payload["parity"]["identical"] is True
+        assert payload["seed"] == 3
+
+    def test_pairwise_engine(self, capsys):
+        code = main(
+            ["netsim", "--workload", "symmetric", "--universe", "8",
+             "--k", "3", "--agents", "20", "--engine", "pairwise",
+             "--horizon", "5000"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "engine:    pairwise" in out
+        assert "cohorts" not in out
+
+    def test_churn_can_strand_pairs(self, capsys):
+        code = main(
+            ["netsim", "--workload", "random_subsets", "--universe", "10",
+             "--k", "3", "--agents", "40", "--churn", "0.9",
+             "--churn-window", "2", "--horizon", "300", "--seed", "1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "not reached" in out
+
+    def test_store_dir_shares_tables(self, capsys, tmp_path):
+        code = main(
+            self.ARGS + ["--store-dir", str(tmp_path / "sched")]
+        )
+        assert code == 0
+        assert "full discovery" in capsys.readouterr().out
+
+    def test_zero_agents_rejected(self, capsys):
+        code = main(
+            ["netsim", "--workload", "random_subsets", "--universe", "12",
+             "--agents", "0"]
+        )
+        assert code == 1
+        assert "at least one agent" in capsys.readouterr().out
+
+    def test_engine_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(self.ARGS + ["--engine", "warp"])
+
+    def test_workload_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["netsim", "--workload", "mystery", "--universe", "12",
+                 "--agents", "5"]
+            )
+
+    def test_churn_fraction_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(self.ARGS + ["--churn", "1.5"])
+
+
 class TestSweepCommand:
     def test_batched_sweep_table(self, capsys):
         code = main(

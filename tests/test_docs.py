@@ -44,6 +44,9 @@ class TestDocsExist:
             "BENCH_batched_sweep.json",
             "BENCH_store_sweep.json",
             "BENCH_service_cache.json",
+            "BENCH_network_discovery.json",
+            "network-discovery scaling curve",
+            "cohort",
             "result cache",
             "API.md",
         ):
@@ -59,6 +62,9 @@ class TestDocsExist:
             "The serving layer",
             "ResultStore",
             "read_roots",
+            "The network simulator",
+            "cohort reduction",
+            "bit-identical",
             "Extension recipe",
             "Deviations from the paper",
         ):
@@ -77,6 +83,10 @@ class TestDocsExist:
             "pair_query",
             "read_roots",
             "repro serve",
+            "repro netsim",
+            "netcore",
+            "simulate_population",
+            "summarize_discovery",
             "Workloads",
             "Theorem 3",
         ):

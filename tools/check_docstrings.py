@@ -23,13 +23,14 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 #: The layers whose public surface docs/API.md documents.  The result
-#: cache is named explicitly (the serving layer's database file) even
-#: though the ``src/repro/core`` walk also reaches it — listing it here
-#: keeps the gate intact if the module ever moves out of the package.
+#: cache and the vectorized network core are named explicitly even
+#: though the directory walks also reach them — listing them here keeps
+#: the gate intact if either module ever moves out of its package.
 DEFAULT_TARGETS = (
     "src/repro/core",
     "src/repro/core/results.py",
     "src/repro/sim",
+    "src/repro/sim/netcore.py",
     "src/repro/baselines",
     "src/repro/analysis",
 )
