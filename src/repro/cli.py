@@ -15,6 +15,8 @@ numbers without writing Python:
     python -m repro sweep --agents ... --universe 64 --engine stream --stream-workers 4 --tile-bytes auto
     python -m repro sweep --agents ... --universe 64 --store-dir .schedules --store-cap 1000000
     python -m repro sweep --agents ... --universe 64 --checkpoint-dir .ckpt --resume
+    python -m repro sweep --agents ... --universe 64 --environment pu-churn:rate=0.1,seed=7
+    python -m repro sweep --agents ... --universe 64 --environment fading:p=0.05 --degradation 4000
     python -m repro serve --a 3,17,40 --b 17,58 --universe 64 --results-dir .results
     python -m repro serve --a ... --b ... --universe 64 --results-dir .results --json
     python -m repro store prewarm --agents ... --universe 64 --store-dir .schedules
@@ -38,9 +40,15 @@ from pathlib import Path
 import repro
 from repro.analysis import format_table, walk_plot
 from repro.core import bounds
+from repro.core.environment import (
+    FadingMisses,
+    PrimaryUserChurn,
+    environment_digest,
+    parse_environment,
+)
 from repro.core.results import ResultStore, result_digest
 from repro.core.store import ScheduleStore
-from repro.core.verification import ttr_for_shift
+from repro.core.verification import degradation_report, ttr_for_shift
 from repro.sim import (
     Agent,
     Instance,
@@ -106,6 +114,14 @@ def _parse_tile_bytes(text: str) -> int | None:
             f"tile bytes must be positive, got {value}"
         )
     return value
+
+
+def _parse_environment_arg(text: str):
+    """A fault-environment spec (``family:key=value,...`` joined by '+')."""
+    try:
+        return parse_environment(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
 
 
 #: Workload generators the ``netsim`` subcommand can instantiate.
@@ -244,8 +260,17 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         metavar="K",
-        help="also run both engines over the first K agents and require "
-        "bit-identical events (parity spot-check)",
+        help="also run both engines over the first K agents — clean AND "
+        "under seeded fading/churn masks — and require bit-identical "
+        "events (parity spot-check)",
+    )
+    netsim.add_argument(
+        "--environment",
+        type=_parse_environment_arg,
+        default=None,
+        metavar="SPEC",
+        help="fault environment for the whole simulation, e.g. "
+        "'pu-churn:rate=0.1,seed=7' or 'fading:p=0.05+sensing:p=0.1'",
     )
     netsim.add_argument(
         "--store-dir",
@@ -349,6 +374,25 @@ def build_parser() -> argparse.ArgumentParser:
         "(default) budgets automatically — all cores when the pair "
         "fan-out is serial, one lane per pair when --workers already "
         "saturates the cores",
+    )
+    sweep.add_argument(
+        "--environment",
+        type=_parse_environment_arg,
+        default=None,
+        metavar="SPEC",
+        help="fault environment applied to every sweep, e.g. "
+        "'pu-churn:rate=0.1,seed=7' or 'fading:p=0.05+sensing:p=0.1'; "
+        "misses stop failing the sweep and are reported per pair",
+    )
+    sweep.add_argument(
+        "--degradation",
+        type=int,
+        default=None,
+        metavar="BOUND",
+        help="degradation-report mode: instead of the TTR table, emit "
+        "one JSON report per pair of which exhaustive shift classes "
+        "keep the BOUND-slot guarantee under --environment, with the "
+        "TTR inflation distribution",
     )
 
     serve = sub.add_parser(
@@ -555,14 +599,24 @@ def _cmd_netsim(args: argparse.Namespace) -> int:
         start = time.perf_counter()
         if engine == "vectorized":
             population = Population.from_agents(agents)
-            net = simulate_population(population, args.horizon, chunk=args.chunk)
+            net = simulate_population(
+                population,
+                args.horizon,
+                chunk=args.chunk,
+                environment=args.environment,
+            )
             profile = net.discovery_profile()
             cohorts = population.num_cohorts
             distinct = len(population.schedules)
             slots = net.slots_simulated
             contention = channel_contention(net, top=3)
         else:
-            result = network.run(args.horizon, chunk=args.chunk, engine=engine)
+            result = network.run(
+                args.horizon,
+                chunk=args.chunk,
+                engine=engine,
+                environment=args.environment,
+            )
             profile = result.discovery_profile()
             cohorts = distinct = None
             slots = args.horizon
@@ -570,17 +624,40 @@ def _cmd_netsim(args: argparse.Namespace) -> int:
         stats = summarize_discovery(profile)
         parity = None
         if args.certify > 0:
+            # Certification must cover the masked paths too: a fault
+            # mask rides a different branch of both engines, so clean
+            # parity alone would leave it uncertified.
             sample = Network(agents[: args.certify])
-            reference = sample.run(
-                args.horizon, chunk=args.chunk, engine="pairwise"
-            )
-            candidate = sample.run(
-                args.horizon, chunk=args.chunk, engine="vectorized"
-            )
+            probes = [
+                ("clean", None),
+                ("fading", FadingMisses(0.2, seed=args.seed)),
+                ("pu-churn", PrimaryUserChurn(0.3, seed=args.seed, dwell=64)),
+            ]
+            if args.environment is not None:
+                probes.append(("requested", args.environment))
+            checks: dict[str, bool] = {}
+            events = 0
+            for label, probe_env in probes:
+                reference = sample.run(
+                    args.horizon,
+                    chunk=args.chunk,
+                    engine="pairwise",
+                    environment=probe_env,
+                )
+                candidate = sample.run(
+                    args.horizon,
+                    chunk=args.chunk,
+                    engine="vectorized",
+                    environment=probe_env,
+                )
+                checks[label] = candidate.events == reference.events
+                if label == "clean":
+                    events = len(reference.events)
             parity = {
                 "agents": len(sample.agents),
-                "events": len(reference.events),
-                "identical": candidate.events == reference.events,
+                "events": events,
+                "identical": all(checks.values()),
+                "checks": checks,
             }
     except ValueError as exc:
         print(f"netsim failed: {exc}")
@@ -599,6 +676,7 @@ def _cmd_netsim(args: argparse.Namespace) -> int:
                     "algorithm": args.algorithm,
                     "seed": args.seed,
                     "engine": engine,
+                    "environment": environment_digest(args.environment) or None,
                     "agents": len(agents),
                     "cohorts": cohorts,
                     "distinct_schedules": distinct,
@@ -625,6 +703,8 @@ def _cmd_netsim(args: argparse.Namespace) -> int:
         print(line)
         print(f"algorithm: {args.algorithm}")
         print(f"engine:    {engine}")
+        if args.environment is not None:
+            print(f"environment: {environment_digest(args.environment)}")
         print(
             f"overlapping pairs: {stats.overlapping_pairs} "
             f"({stats.met_pairs} met, {coverage:.1f}%)"
@@ -647,9 +727,13 @@ def _cmd_netsim(args: argparse.Namespace) -> int:
             )
         if parity is not None:
             verdict = "bit-identical" if parity["identical"] else "MISMATCH"
+            masked = ", ".join(
+                label for label in parity["checks"] if label != "clean"
+            )
             print(
                 f"parity: {parity['agents']}-agent subsample {verdict} "
-                f"across engines ({parity['events']} events)"
+                f"across engines ({parity['events']} events; "
+                f"clean + masked: {masked})"
             )
         print(f"wall time: {seconds:.2f} s")
     if parity is not None and not parity["identical"]:
@@ -666,6 +750,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         return 2
     if args.resume and args.checkpoint_dir is None:
         print("sweep failed: --resume requires --checkpoint-dir")
+        return 2
+    if args.degradation is not None and args.environment is None:
+        print("sweep failed: --degradation requires --environment")
         return 2
     if args.checkpoint_dir is not None and args.engine == "batched":
         print("sweep failed: --checkpoint-dir needs the streaming engine")
@@ -689,11 +776,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         stream_workers=args.stream_workers or None,
         results=args.results_dir,
         checkpoint_dir=args.checkpoint_dir,
+        environment=args.environment,
     )
     try:
         instance = Instance(
             args.universe, [frozenset(s) for s in args.agents], "cli"
         )
+        if args.degradation is not None:
+            return _sweep_degradation(args, runner, instance)
         measured = runner.measure_instance(
             instance,
             args.algorithm,
@@ -704,6 +794,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     except (AssertionError, ValueError) as exc:
         print(f"sweep failed: {exc}")
         return 1
+    faulted = args.environment is not None
     rows = [
         [
             f"{m.pair[0]}-{m.pair[1]}",
@@ -712,16 +803,22 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             round(m.stats.p95, 2),
             m.stats.count,
         ]
+        + ([m.missed] if faulted else [])
         for m in measured
     ]
     print(f"algorithm: {args.algorithm}")
     if args.engine != "auto":
         print(f"engine:    {args.engine}")
+    if faulted:
+        print(f"environment: {environment_digest(args.environment)}")
     if args.stream_workers:
         print(f"stream workers: {args.stream_workers} per pair")
     if args.tile_bytes is not None:
         print(f"tile bytes: {args.tile_bytes}")
-    print(format_table(["pair", "worst TTR", "mean", "p95", "shifts"], rows))
+    header = ["pair", "worst TTR", "mean", "p95", "shifts"]
+    if faulted:
+        header.append("missed")
+    print(format_table(header, rows))
     missed = runner.cache_misses
     reused = runner.cache_hits
     # Pool workers keep their own caches, so parent-side stats only
@@ -748,6 +845,47 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if runner.results is not None:
         print(_result_cache_line(runner.results))
     return 0
+
+
+def _sweep_degradation(
+    args: argparse.Namespace, runner: SweepRunner, instance: Instance
+) -> int:
+    """Emit one JSON degradation report per overlapping pair.
+
+    Shift classes are exhaustive (the sweep engines' full guarantee
+    range per pair), so the survival fraction is exact, not sampled;
+    the report is bit-identical whichever engine computes it.
+    """
+    reports = []
+    for i, j in instance.overlapping_pairs():
+        a = runner.schedule_for(instance.sets[i], instance.n, args.algorithm, i)
+        b = runner.schedule_for(instance.sets[j], instance.n, args.algorithm, j)
+        report = degradation_report(
+            a,
+            b,
+            args.degradation,
+            args.environment,
+            engine=args.engine,
+            tile_bytes=args.tile_bytes,
+            stream_workers=args.stream_workers or None,
+        )
+        row = report.to_dict()
+        row["pair"] = [i, j]
+        reports.append(row)
+    print(
+        json.dumps(
+            {
+                "mode": "degradation",
+                "algorithm": args.algorithm,
+                "bound": args.degradation,
+                "environment": args.environment.spec(),
+                "environment_digest": environment_digest(args.environment),
+                "pairs": reports,
+            },
+            sort_keys=True,
+        )
+    )
+    return 0 if all(row["ok"] for row in reports) else 1
 
 
 def _result_cache_line(results: ResultStore) -> str:

@@ -21,7 +21,14 @@ symmetric
 schedule
     Schedule abstractions shared by all constructions.
 verification
-    Executable rendezvous-time definitions (Section 2).
+    Executable rendezvous-time definitions (Section 2), plus the
+    degradation-report mode that certifies which shift classes keep
+    the meeting guarantee under a fault environment.
+environment
+    Deterministic, seeded fault-injection layer: primary-user churn,
+    fading misses, and asymmetric sensing expressed as vectorized
+    per-slot validity masks that every sweep engine applies
+    bit-identically.
 batch
     Batched shift-sweep engine: whole TTR profiles in one vectorized
     pass over a ``(shift, time)`` coincidence matrix — and the engine
@@ -43,6 +50,16 @@ results
     microseconds — the database layer behind ``python -m repro serve``.
 """
 
+from repro.core.environment import (
+    AsymmetricSensing,
+    ComposedEnvironment,
+    Environment,
+    FadingMisses,
+    PrimaryUserChurn,
+    compose,
+    environment_digest,
+    parse_environment,
+)
 from repro.core.epoch import EpochSchedule, rendezvous_bound
 from repro.core.pairwise import (
     async_period,
@@ -77,4 +94,12 @@ __all__ = [
     "StoredSchedule",
     "ResultStore",
     "SweepCheckpoint",
+    "Environment",
+    "FadingMisses",
+    "PrimaryUserChurn",
+    "AsymmetricSensing",
+    "ComposedEnvironment",
+    "compose",
+    "environment_digest",
+    "parse_environment",
 ]

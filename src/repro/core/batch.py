@@ -47,6 +47,7 @@ from numpy.lib.stride_tricks import sliding_window_view
 
 from repro.core import schedule as _schedule
 from repro.core import stream as _stream
+from repro.core.environment import Environment, effective_horizon
 from repro.core.schedule import Schedule
 
 __all__ = [
@@ -93,6 +94,7 @@ def ttr_sweep(
     tile_bytes: int | None = None,
     stream_workers: int | None = None,
     checkpoint: _stream.SweepCheckpoint | None = None,
+    environment: Environment | None = None,
 ) -> dict[int, int | None]:
     """TTR for every relative shift, in one batched or streamed pass.
 
@@ -131,6 +133,13 @@ def ttr_sweep(
     int64 table is used as-is, never copied (other dtypes are
     converted once): the array *is* the period table, its length the
     period.
+
+    ``environment`` applies a deterministic per-slot validity mask
+    (:mod:`repro.core.environment`) to every coincidence, evaluated on
+    the TTR clock — one extra masked compare per block, bit-identical
+    across all engines.  An aperiodic mask disables the lcm early-stop:
+    the scan then covers the caller's full horizon
+    (:func:`repro.core.environment.effective_horizon`).
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
@@ -159,8 +168,13 @@ def ttr_sweep(
             engine = "batched"
     if engine == "scalar":
         # The joint pattern repeats every lcm slots, so capping the
-        # scalar scan there preserves every answer (including misses).
-        return _scalar_sweep(a, b, shift_list, min(horizon, joint))
+        # scalar scan there preserves every answer (including misses) —
+        # unless an aperiodic environment mask breaks the periodicity
+        # argument, in which case the full horizon is scanned.
+        return _scalar_sweep(
+            a, b, shift_list, effective_horizon(horizon, joint, environment),
+            environment,
+        )
     if engine == "stream":
         return _stream.ttr_sweep_stream(
             a,
@@ -170,6 +184,7 @@ def ttr_sweep(
             tile_bytes=tile_bytes,
             workers=stream_workers,
             checkpoint=checkpoint,
+            environment=environment,
         )
     if a.period > BATCH_TABLE_LIMIT or b.period > BATCH_TABLE_LIMIT:
         raise ValueError(
@@ -183,8 +198,9 @@ def ttr_sweep(
     # cross-engine results depend on it staying single-sourced.
     unique_pairs, inverse = _stream.reduce_shifts(a, b, shift_list)
 
-    # The joint pattern repeats every lcm slots: nothing new after that.
-    effective = min(horizon, joint)
+    # The joint pattern repeats every lcm slots: nothing new after that
+    # — except under an aperiodic environment mask (full horizon then).
+    effective = effective_horizon(horizon, joint, environment)
     # Every shift pins one side's offset to zero.  Profiling the sign
     # groups separately keeps that side on the constant-start fast path
     # in _windows (one tiled row) instead of forcing a strided gather
@@ -201,6 +217,7 @@ def ttr_sweep(
                 unique_pairs[group, 1],
                 effective,
                 max_cells,
+                environment,
             )
     return _stream.scatter_ttrs(shift_list, ttrs, inverse)
 
@@ -228,11 +245,18 @@ def _one_shot_strided(a: Schedule, b: Schedule, num_shifts: int) -> bool:
 
 
 def _scalar_sweep(
-    a: Schedule, b: Schedule, shifts: list[int], horizon: int
+    a: Schedule,
+    b: Schedule,
+    shifts: list[int],
+    horizon: int,
+    environment: Environment | None = None,
 ) -> dict[int, int | None]:
     from repro.core.verification import ttr_for_shift
 
-    return {s: ttr_for_shift(a, b, s, horizon) for s in shifts}
+    return {
+        s: ttr_for_shift(a, b, s, horizon, environment=environment)
+        for s in shifts
+    }
 
 
 def _windows(table: np.ndarray, starts: np.ndarray, length: int) -> np.ndarray:
@@ -260,8 +284,14 @@ def _profile_offsets(
     off_b: np.ndarray,
     horizon: int,
     max_cells: int,
+    environment: Environment | None = None,
 ) -> np.ndarray:
-    """First-coincidence slot per offset pair; ``-1`` marks a miss."""
+    """First-coincidence slot per offset pair; ``-1`` marks a miss.
+
+    With an ``environment``, each block's coincidence matrix is ANDed
+    with the mask over its ``(channel, TTR-clock slot)`` cells — the
+    one extra masked compare the environment layer costs.
+    """
     num = off_a.size
     result = np.full(num, -1, dtype=np.int64)
     shift_block = max(1, max_cells // _INITIAL_TIME_BLOCK)
@@ -276,6 +306,10 @@ def _profile_offsets(
             wa = _windows(table_a, (off_a[remaining] + t0) % table_a.size, length)
             wb = _windows(table_b, (off_b[remaining] + t0) % table_b.size, length)
             eq = wa == wb
+            if environment is not None:
+                eq = eq & environment.slot_mask(
+                    wa, np.arange(t0, t1, dtype=np.int64)
+                )
             hit = eq.any(axis=1)
             if hit.any():
                 result[remaining[hit]] = t0 + eq[hit].argmax(axis=1)

@@ -73,6 +73,7 @@ def pair_query(
     dense: int,
     probes: int,
     seed: int,
+    environment=None,
 ) -> dict:
     """Canonical query dict for one pairwise worst-TTR measurement.
 
@@ -84,8 +85,14 @@ def pair_query(
     plan parameters (``dense``/``probes``/``seed``) plus ``horizon``.
     Engine name, tile bytes, and worker counts are excluded on purpose:
     results are bit-identical across all of them.
+
+    ``environment`` (an :class:`~repro.core.environment.Environment`)
+    joins the query as its canonical spec when present; a clean query
+    omits the key entirely, so digests of pre-environment records are
+    unchanged and a faulted measurement can never answer a clean query
+    (or vice versa).
     """
-    return {
+    query = {
         "kind": "measure_pair",
         "algorithm": str(algorithm),
         "n": int(n),
@@ -96,6 +103,9 @@ def pair_query(
         "probes": int(probes),
         "seed": int(seed),
     }
+    if environment is not None:
+        query["environment"] = environment.spec()
+    return query
 
 
 def result_digest(query: dict) -> str:

@@ -28,7 +28,10 @@ computation walks fixed-byte ``(shift-block, time-block)`` **tiles**:
 * the scan stops at ``lcm(period_A, period_B)`` slots even when the
   caller's horizon is larger, the same early-stop the batched engine
   applies: the joint pattern is periodic, so a silent joint period
-  means no rendezvous ever.
+  means no rendezvous ever — unless an aperiodic fault environment
+  (:mod:`repro.core.environment`) is attached, which voids the
+  periodicity argument and forces the full horizon
+  (:func:`repro.core.environment.effective_horizon`).
 
 Two scans implement those semantics:
 
@@ -75,6 +78,11 @@ from pathlib import Path
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
+from repro.core.environment import (
+    Environment,
+    effective_horizon,
+    environment_digest,
+)
 from repro.core.schedule import Schedule
 
 __all__ = [
@@ -318,10 +326,23 @@ class SweepCheckpoint:
         self.path.unlink(missing_ok=True)
 
 
-def _sweep_spec(a: Schedule, b: Schedule, unique_pairs: np.ndarray, horizon: int) -> str:
-    """Digest identifying one sweep's work items for checkpoint matching."""
+def _sweep_spec(
+    a: Schedule,
+    b: Schedule,
+    unique_pairs: np.ndarray,
+    horizon: int,
+    environment: Environment | None = None,
+) -> str:
+    """Digest identifying one sweep's work items for checkpoint matching.
+
+    The environment digest is part of the spec: a faulted sweep must
+    never resume from a clean sweep's snapshot (or vice versa) — their
+    first-meet frontiers describe different masks.
+    """
     digest = hashlib.sha256()
-    digest.update(f"{a.period}|{b.period}|{horizon}|".encode())
+    digest.update(
+        f"{a.period}|{b.period}|{horizon}|{environment_digest(environment)}|".encode()
+    )
     digest.update(np.ascontiguousarray(unique_pairs, dtype=np.int64).tobytes())
     return digest.hexdigest()[:32]
 
@@ -424,6 +445,7 @@ def ttr_sweep_stream(
     workers: int | None = None,
     plan: TilePlan | None = None,
     checkpoint: SweepCheckpoint | None = None,
+    environment: Environment | None = None,
 ) -> dict[int, int | None]:
     """TTR for every relative shift, streamed in worker-parallel tiles.
 
@@ -453,6 +475,12 @@ def ttr_sweep_stream(
     boundaries, and a rerun against an existing snapshot of the *same*
     sweep resumes instead of restarting — resumed profiles are
     bit-identical to uninterrupted ones (certified in tier-1 tests).
+
+    ``environment`` ANDs a deterministic per-slot validity mask
+    (:mod:`repro.core.environment`) into every tile's coincidence
+    compare, on the TTR clock; its digest joins the checkpoint spec so
+    faulted and clean sweeps never cross-resume, and an aperiodic mask
+    disables the lcm early-stop.
     """
     if tile_bytes is not None and tile_bytes <= 0:
         raise ValueError(f"tile_bytes must be positive, got {tile_bytes}")
@@ -465,7 +493,9 @@ def ttr_sweep_stream(
         return {s: None for s in shift_list}
 
     unique_pairs, inverse = reduce_shifts(a, b, shift_list)
-    effective = min(horizon, math.lcm(a.period, b.period))
+    effective = effective_horizon(
+        horizon, math.lcm(a.period, b.period), environment
+    )
     # Each shift pins one side's offset to zero, so the sign groups are
     # profiled separately with the zero side as the broadcast row.
     ttrs = np.empty(len(unique_pairs), dtype=np.int64)
@@ -474,7 +504,7 @@ def ttr_sweep_stream(
     if checkpoint is not None:
         recorder = _CheckpointRecorder(
             checkpoint,
-            _sweep_spec(a, b, unique_pairs, effective),
+            _sweep_spec(a, b, unique_pairs, effective, environment),
             {0: int((~negative).sum()), 1: int(negative.sum())},
             checkpoint.load(),
         )
@@ -489,7 +519,7 @@ def ttr_sweep_stream(
             )
         ttrs[group] = _stream_offsets(
             var, fixed, unique_pairs[group, column], effective, group_plan,
-            recorder=recorder, gid=gid,
+            recorder=recorder, gid=gid, environment=environment,
         )
     return scatter_ttrs(shift_list, ttrs, inverse)
 
@@ -500,6 +530,7 @@ def ttr_sweep_stream_serial(
     shifts: Iterable[int],
     horizon: int,
     tile_bytes: int = DEFAULT_TILE_BYTES,
+    environment: Environment | None = None,
 ) -> dict[int, int | None]:
     """The single-threaded reference scan of the streaming engine.
 
@@ -510,7 +541,8 @@ def ttr_sweep_stream_serial(
     parallel blocked scan is parity-certified against (bit-identical
     per cell) and the baseline ``benchmarks/test_stream_sweep.py``
     measures the intra-pair speedup from.  Production callers should
-    use :func:`ttr_sweep_stream`.
+    use :func:`ttr_sweep_stream`.  ``environment`` masks coincidences
+    exactly as on the production path.
     """
     if tile_bytes <= 0:
         raise ValueError(f"tile_bytes must be positive, got {tile_bytes}")
@@ -523,16 +555,18 @@ def ttr_sweep_stream_serial(
         return {s: None for s in shift_list}
 
     unique_pairs, inverse = reduce_shifts(a, b, shift_list)
-    effective = min(horizon, math.lcm(a.period, b.period))
+    effective = effective_horizon(
+        horizon, math.lcm(a.period, b.period), environment
+    )
     ttrs = np.empty(len(unique_pairs), dtype=np.int64)
     negative = unique_pairs[:, 1] != 0
     if (~negative).any():
         ttrs[~negative] = _stream_offsets_serial(
-            a, b, unique_pairs[~negative, 0], effective, tile_bytes
+            a, b, unique_pairs[~negative, 0], effective, tile_bytes, environment
         )
     if negative.any():
         ttrs[negative] = _stream_offsets_serial(
-            b, a, unique_pairs[negative, 1], effective, tile_bytes
+            b, a, unique_pairs[negative, 1], effective, tile_bytes, environment
         )
     return scatter_ttrs(shift_list, ttrs, inverse)
 
@@ -646,6 +680,7 @@ def _scan_block(
     start: int = 0,
     recorder: _CheckpointRecorder | None = None,
     gid: int = 0,
+    environment: Environment | None = None,
 ) -> None:
     """First-meet scan of one independent shift block.
 
@@ -657,7 +692,9 @@ def _scan_block(
     resume cursor — slots before it were already scanned hit-free for
     every row of the block — and ``recorder`` (with its sign-group id
     ``gid``) receives retirements and frontier advances at every
-    time-block boundary.
+    time-block boundary.  ``environment`` ANDs its validity mask into
+    each tile's compare (channels from the varying side, slots on the
+    TTR clock).
     """
     remaining = block
     t0 = start
@@ -667,6 +704,10 @@ def _scan_block(
         width = t1 - t0
         rows = _gather_tile(var, offsets[remaining], t0, width)
         eq = rows == fixed_rows.row(t0, t1)[np.newaxis, :]
+        if environment is not None:
+            eq = eq & environment.slot_mask(
+                rows, np.arange(t0, t1, dtype=np.int64)
+            )
         hit = eq.any(axis=1)
         hit_rows = remaining[hit]
         if hit.any():
@@ -691,6 +732,7 @@ def _stream_offsets(
     plan: TilePlan,
     recorder: _CheckpointRecorder | None = None,
     gid: int = 0,
+    environment: Environment | None = None,
 ) -> np.ndarray:
     """First-coincidence slot per offset, via the blocked parallel scan.
 
@@ -737,6 +779,7 @@ def _stream_offsets(
                 pool.submit(
                     _scan_block, var, offsets, block, horizon, plan.cells,
                     fixed_rows, result, int(starts[block].min()), recorder, gid,
+                    environment,
                 )
                 for block in blocks
             ]
@@ -746,7 +789,7 @@ def _stream_offsets(
         for block in blocks:
             _scan_block(
                 var, offsets, block, horizon, plan.cells, fixed_rows, result,
-                int(starts[block].min()), recorder, gid,
+                int(starts[block].min()), recorder, gid, environment,
             )
     return result
 
@@ -781,12 +824,14 @@ def _stream_offsets_serial(
     offsets: np.ndarray,
     horizon: int,
     tile_bytes: int,
+    environment: Environment | None = None,
 ) -> np.ndarray:
     """The reference scan: one thread, fixed budget, per-row gathers.
 
     ``var`` is the schedule whose phase varies per shift (windows start
     at ``offset``), ``fixed`` the one pinned at phase zero; ``-1``
-    marks a miss within ``horizon``.
+    marks a miss within ``horizon``.  ``environment`` masks each tile's
+    compare exactly as on the blocked path.
     """
     num = offsets.size
     result = np.full(num, -1, dtype=np.int64)
@@ -806,6 +851,10 @@ def _stream_offsets_serial(
             width = t1 - t0
             rows = _gather_rows_serial(var, offsets[remaining], t0, width)
             eq = rows == fixed_rows.row(t0, t1)[np.newaxis, :]
+            if environment is not None:
+                eq = eq & environment.slot_mask(
+                    rows, np.arange(t0, t1, dtype=np.int64)
+                )
             hit = eq.any(axis=1)
             if hit.any():
                 result[remaining[hit]] = t0 + eq[hit].argmax(axis=1)

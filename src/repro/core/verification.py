@@ -21,15 +21,27 @@ All scans are vectorized over numpy windows.  Multi-shift queries
 batched engine in :mod:`repro.core.batch`, which sweeps every shift in
 one vectorized pass; ``ttr_for_shift`` remains the independent scalar
 reference path the batched engine is parity-tested against.
+
+Every entry point accepts an ``environment``
+(:mod:`repro.core.environment`): a deterministic per-slot validity mask
+that drops coincidences lost to primary-user churn, fading, or sensing
+error.  The mask is evaluated on the TTR clock (slots since the later
+wake-up), and the scalar path here is the reference the masked batched
+and streaming engines are parity-certified against.
+:func:`degradation_report` is the guarantee-under-fault view: instead
+of a bare bool it reports which shift classes lost the meeting
+guarantee and how far TTRs inflated.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core import batch
+from repro.core.environment import Environment
 from repro.core.schedule import Schedule
 
 __all__ = [
@@ -40,6 +52,8 @@ __all__ = [
     "exhaustive_shift_range",
     "strided_shift_range",
     "verify_guarantee",
+    "DegradationReport",
+    "degradation_report",
 ]
 
 
@@ -50,11 +64,14 @@ def first_rendezvous(
     wake_b: int,
     horizon: int,
     chunk: int = 1 << 16,
+    environment: Environment | None = None,
 ) -> int | None:
     """Slots until rendezvous measured from ``max(wake_a, wake_b)``.
 
     Scans global time ``t`` from the later wake-up in vectorized chunks;
     returns ``None`` when no coincidence occurs within ``horizon`` slots.
+    With an ``environment``, a coincidence only counts when the mask
+    keeps its ``(channel, slots-since-later-wake)`` cell.
     """
     if wake_a < 0 or wake_b < 0:
         raise ValueError("wake-up times must be nonnegative")
@@ -63,7 +80,12 @@ def first_rendezvous(
         hi = min(lo + chunk, start + horizon)
         window_a = a.materialize(lo - wake_a, hi - wake_a)
         window_b = b.materialize(lo - wake_b, hi - wake_b)
-        hits = np.nonzero(window_a == window_b)[0]
+        eq = window_a == window_b
+        if environment is not None:
+            eq = eq & environment.slot_mask(
+                window_a, np.arange(lo - start, hi - start, dtype=np.int64)
+            )
+        hits = np.nonzero(eq)[0]
         if hits.size:
             return lo - start + int(hits[0])
     return None
@@ -75,15 +97,22 @@ def ttr_for_shift(
     shift: int,
     horizon: int,
     chunk: int = 1 << 16,
+    environment: Environment | None = None,
 ) -> int | None:
     """TTR when ``b`` wakes ``shift`` slots after ``a`` (negative: before).
 
     ``chunk`` tunes the scan granularity: small chunks suit exhaustive
-    shift sweeps where most hits come early.
+    shift sweeps where most hits come early.  ``environment`` applies a
+    per-slot validity mask on the TTR clock (see
+    :mod:`repro.core.environment`).
     """
     if shift >= 0:
-        return first_rendezvous(a, b, 0, shift, horizon, chunk=chunk)
-    return first_rendezvous(a, b, -shift, 0, horizon, chunk=chunk)
+        return first_rendezvous(
+            a, b, 0, shift, horizon, chunk=chunk, environment=environment
+        )
+    return first_rendezvous(
+        a, b, -shift, 0, horizon, chunk=chunk, environment=environment
+    )
 
 
 def ttr_profile(
@@ -94,17 +123,19 @@ def ttr_profile(
     engine: str = "auto",
     tile_bytes: int | None = None,
     stream_workers: int | None = None,
+    environment: Environment | None = None,
 ) -> dict[int, int | None]:
     """TTR for each relative shift; ``None`` marks a miss within horizon.
 
     ``engine`` / ``tile_bytes`` / ``stream_workers`` select and tune
     the sweep engine (see :func:`repro.core.batch.ttr_sweep`); the
     default dispatches on period size, auto-tunes the streaming tile
-    plan, and all engines are bit-identical.
+    plan, and all engines are bit-identical — with or without an
+    ``environment`` mask.
     """
     return batch.ttr_sweep(
         a, b, shifts, horizon, engine=engine, tile_bytes=tile_bytes,
-        stream_workers=stream_workers,
+        stream_workers=stream_workers, environment=environment,
     )
 
 
@@ -145,19 +176,22 @@ def max_ttr(
     engine: str = "auto",
     tile_bytes: int | None = None,
     stream_workers: int | None = None,
+    environment: Environment | None = None,
 ) -> int:
     """Maximum TTR over the given shifts.
 
     Raises ``AssertionError`` if any shift misses within the horizon —
     callers that expect guaranteed rendezvous should size the horizon
-    above the theoretical bound.  ``engine`` / ``tile_bytes`` /
+    above the theoretical bound (under an ``environment``, prefer
+    :func:`degradation_report`: losing shifts is the object of study
+    there, not an error).  ``engine`` / ``tile_bytes`` /
     ``stream_workers`` pass through to
     :func:`repro.core.batch.ttr_sweep`.
     """
     worst = -1
     for shift, ttr in ttr_profile(
         a, b, shifts, horizon, engine=engine, tile_bytes=tile_bytes,
-        stream_workers=stream_workers,
+        stream_workers=stream_workers, environment=environment,
     ).items():
         if ttr is None:
             raise AssertionError(
@@ -175,6 +209,7 @@ def verify_guarantee(
     engine: str = "auto",
     tile_bytes: int | None = None,
     stream_workers: int | None = None,
+    environment: Environment | None = None,
 ) -> tuple[bool, int, int | None]:
     """Check that every tested shift rendezvouses within ``bound`` slots.
 
@@ -183,7 +218,9 @@ def verify_guarantee(
     schedules).  ``engine`` / ``tile_bytes`` / ``stream_workers`` pass
     through to :func:`repro.core.batch.ttr_sweep` — with the streaming
     engine this certification works even on schedules whose period is
-    too large to table.
+    too large to table.  ``environment`` checks the guarantee under a
+    fault mask; when the question is *which* shifts lost it and by how
+    much, use :func:`degradation_report` instead.
     """
     if shifts is None:
         shifts = exhaustive_shift_range(a, b)
@@ -195,10 +232,127 @@ def verify_guarantee(
             return True, worst, None
         profile = batch.ttr_sweep(
             a, b, pending, bound + 1, engine=engine, tile_bytes=tile_bytes,
-            stream_workers=stream_workers,
+            stream_workers=stream_workers, environment=environment,
         )
         for shift in pending:
             ttr = profile[shift]
             if ttr is None or ttr > bound:
                 return False, worst, shift
             worst = max(worst, ttr)
+
+
+@dataclass(frozen=True)
+class DegradationReport:
+    """How a rendezvous guarantee degrades under a fault environment.
+
+    Derived from two profiles over the same shifts — clean and masked —
+    both truncated at ``bound + 1`` slots.  A shift *survives* when its
+    masked TTR exists and stays within ``bound``; ``lost_shifts`` lists
+    the rest.  Inflation is measured per surviving shift as
+    ``(faulted + 1) / (clean + 1)`` (the +1 keeps slot-0 meetings
+    finite) and summarized by its mean and max; ``faulted_worst`` is
+    ``None`` when no shift survived.  Reports are plain data, built
+    from bit-identical engine profiles, so the report itself is
+    bit-identical across scalar/batched/stream.
+    """
+
+    bound: int
+    environment_digest: str
+    total_shifts: int
+    survived: int
+    lost_shifts: tuple[int, ...]
+    clean_worst: int
+    faulted_worst: int | None
+    inflation_mean: float
+    inflation_max: float
+
+    @property
+    def survival_fraction(self) -> float:
+        """Fraction of tested shifts that kept the bounded guarantee."""
+        return self.survived / self.total_shifts if self.total_shifts else 1.0
+
+    @property
+    def ok(self) -> bool:
+        """Whether the guarantee survived on every tested shift."""
+        return not self.lost_shifts
+
+    def to_dict(self) -> dict:
+        """JSON-able view (the CLI degradation mode prints this)."""
+        return {
+            "bound": self.bound,
+            "environment_digest": self.environment_digest,
+            "total_shifts": self.total_shifts,
+            "survived": self.survived,
+            "survival_fraction": self.survival_fraction,
+            "lost_shifts": list(self.lost_shifts),
+            "clean_worst": self.clean_worst,
+            "faulted_worst": self.faulted_worst,
+            "inflation_mean": self.inflation_mean,
+            "inflation_max": self.inflation_max,
+            "ok": self.ok,
+        }
+
+
+def degradation_report(
+    a: Schedule,
+    b: Schedule,
+    bound: int,
+    environment: Environment | None,
+    shifts: Iterable[int] | None = None,
+    engine: str = "auto",
+    tile_bytes: int | None = None,
+    stream_workers: int | None = None,
+) -> DegradationReport:
+    """Measure guarantee survival and TTR inflation under a fault mask.
+
+    The degradation mode of :func:`verify_guarantee`: instead of a bare
+    bool it sweeps the same shifts twice — once clean, once under
+    ``environment`` — and reports which shift classes lost the
+    ``bound``-slot meeting guarantee plus the TTR inflation
+    distribution over the survivors.  ``shifts=None`` uses the
+    exhaustive shift range (exact certification); ``environment=None``
+    degenerates to a report with every shift surviving at inflation
+    1.0.  Engine knobs pass through to
+    :func:`repro.core.batch.ttr_sweep`, and because both profiles are
+    bit-identical across engines, so is the report.
+    """
+    from repro.core.environment import environment_digest as _env_digest
+
+    if bound < 0:
+        raise ValueError(f"bound must be nonnegative, got {bound}")
+    if shifts is None:
+        shifts = exhaustive_shift_range(a, b)
+    shift_list = [int(s) for s in shifts]
+    sweep = dict(engine=engine, tile_bytes=tile_bytes, stream_workers=stream_workers)
+    clean = batch.ttr_sweep(a, b, shift_list, bound + 1, **sweep)
+    faulted = batch.ttr_sweep(
+        a, b, shift_list, bound + 1, environment=environment, **sweep
+    )
+    lost: list[int] = []
+    survivors: list[int] = []
+    clean_worst = -1
+    faulted_worst: int | None = None
+    inflations: list[float] = []
+    for shift in shift_list:
+        c = clean[shift]
+        if c is not None and c <= bound:
+            clean_worst = max(clean_worst, c)
+        f = faulted[shift]
+        if f is None or f > bound:
+            lost.append(shift)
+            continue
+        survivors.append(shift)
+        faulted_worst = f if faulted_worst is None else max(faulted_worst, f)
+        if c is not None and c <= bound:
+            inflations.append((f + 1) / (c + 1))
+    return DegradationReport(
+        bound=bound,
+        environment_digest=_env_digest(environment),
+        total_shifts=len(shift_list),
+        survived=len(survivors),
+        lost_shifts=tuple(sorted(lost)),
+        clean_worst=clean_worst,
+        faulted_worst=faulted_worst,
+        inflation_mean=sum(inflations) / len(inflations) if inflations else 0.0,
+        inflation_max=max(inflations, default=0.0),
+    )

@@ -45,6 +45,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro.core.environment import Environment
 from repro.core.schedule import Schedule
 from repro.sim.agent import ASLEEP, Agent
 from repro.sim.metrics import DiscoveryProfile
@@ -372,11 +373,43 @@ def _assemble_rows(
     return rows
 
 
+def _first_valid_meet(
+    schedule: Schedule,
+    wake: int,
+    leave: int,
+    horizon: int,
+    chunk: int,
+    environment: Environment,
+) -> tuple[int, int] | None:
+    """First ``(slot, channel)`` where an intra-cohort pair's coincidence
+    survives the environment mask, or ``None`` if none does.
+
+    Members of one cohort sit on the same channel every awake slot, so
+    their meeting slot is the first global slot in
+    ``[wake, min(leave, horizon))`` the mask validates — scanned in
+    chunks so huge-period schedules never materialize a full row.
+    """
+    stop_at = min(leave, horizon)
+    for start in range(wake, stop_at, chunk):
+        stop = min(start + chunk, stop_at)
+        slots = np.arange(start, stop, dtype=np.int64)
+        channels = schedule.channel_gather(slots - wake)
+        valid = np.broadcast_to(
+            environment.slot_mask(channels, slots), channels.shape
+        )
+        hits = np.nonzero(valid)[0]
+        if hits.size:
+            k = int(hits[0])
+            return int(slots[k]), int(channels[k])
+    return None
+
+
 def simulate_population(
     population: Population,
     horizon: int,
     chunk: int = DEFAULT_CHUNK,
     early_stop: bool = True,
+    environment: Environment | None = None,
 ) -> NetResult:
     """Simulate ``horizon`` slots over the whole population, vectorized.
 
@@ -389,8 +422,22 @@ def simulate_population(
     ``early_stop=False`` scans the full horizon so contention metrics
     cover every slot.
 
+    With an ``environment``
+    (:class:`~repro.core.environment.Environment`), each chunk also
+    evaluates the fault mask over its ``(channel, global slot)`` grid
+    and a coincidence only counts as a meeting on a validated cell —
+    the *same* mask generator the sweep engines apply, here on the
+    global simulation clock (the sweep engines index it by slots since
+    the later wake-up; see ``docs/ARCHITECTURE.md``).  Intra-cohort
+    pairs, which the clean path retires at their wake slot, instead
+    meet at the first masked-valid awake slot (or never).  Contention
+    counters stay *raw* — primary users occupying a channel still
+    contend with everyone sensing it; the mask decides meetings, not
+    presence.
+
     Certified bit-identical to the pairwise reference
-    (``Network.run(engine="pairwise")``) in ``tests/sim/test_netcore.py``.
+    (``Network.run(engine="pairwise")``) in ``tests/sim/test_netcore.py``,
+    clean and masked.
     """
     if horizon <= 0:
         raise ValueError(f"horizon must be positive, got {horizon}")
@@ -417,18 +464,38 @@ def simulate_population(
     pending[:, ~alive] = False
     remaining = int(np.count_nonzero(np.triu(pending, 1)))
 
-    # Intra-cohort pairs share one behaviour: they meet the slot the
-    # cohort wakes, on the schedule's first channel.
+    # Intra-cohort pairs share one behaviour: clean, they meet the slot
+    # the cohort wakes, on the schedule's first channel; under an
+    # environment, at the first awake slot the mask validates (if any).
     intra_mask = alive & (sizes >= 2)
     intra_cohort = np.nonzero(intra_mask)[0]
-    intra_time = population.cohort_wake[intra_cohort]
-    intra_channel = np.array(
-        [
-            population.schedules[g].channel_at(0)
-            for g in population.cohort_schedule[intra_cohort]
-        ],
-        dtype=np.int64,
-    )
+    if environment is None:
+        intra_time = population.cohort_wake[intra_cohort]
+        intra_channel = np.array(
+            [
+                population.schedules[g].channel_at(0)
+                for g in population.cohort_schedule[intra_cohort]
+            ],
+            dtype=np.int64,
+        )
+    else:
+        kept, times, channels_out = [], [], []
+        for c in intra_cohort:
+            meet = _first_valid_meet(
+                population.schedules[population.cohort_schedule[c]],
+                int(population.cohort_wake[c]),
+                int(population.cohort_leave[c]),
+                horizon,
+                chunk,
+                environment,
+            )
+            if meet is not None:
+                kept.append(c)
+                times.append(meet[0])
+                channels_out.append(meet[1])
+        intra_cohort = np.array(kept, dtype=np.int64)
+        intra_time = np.array(times, dtype=np.int64)
+        intra_channel = np.array(channels_out, dtype=np.int64)
 
     wheel = EventWheel(chunk)
     for c in np.nonzero(alive)[0]:
@@ -465,6 +532,18 @@ def simulate_population(
             continue
         rows = _assemble_rows(population, rows_idx, start, stop)
         sizes_rows = sizes[rows_idx]
+        valid_chunk = None
+        if environment is not None and num_channels:
+            # One (channel, slot) validity grid per chunk, shared by
+            # every bucket below — the identical mask generator the
+            # sweep engines tile with.
+            valid_chunk = np.broadcast_to(
+                environment.slot_mask(
+                    np.arange(num_channels, dtype=np.int64)[:, None],
+                    np.arange(start, stop, dtype=np.int64)[None, :],
+                ),
+                (num_channels, stop - start),
+            )
         for s in range(stop - start):
             column = rows[:, s]
             awake = column >= 0
@@ -483,6 +562,8 @@ def simulate_population(
             if remaining:
                 counts = np.bincount(values, minlength=num_channels)
                 for channel in np.nonzero(counts >= 2)[0]:
+                    if valid_chunk is not None and not valid_chunk[channel, s]:
+                        continue
                     bucket = rows_idx[awake & (column == channel)]
                     sub = pending[np.ix_(bucket, bucket)]
                     if not sub.any():

@@ -30,6 +30,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro.core.environment import Environment
 from repro.sim.agent import ASLEEP, Agent
 from repro.sim.events import RendezvousEvent
 from repro.sim.metrics import DiscoveryProfile
@@ -131,21 +132,34 @@ class Network:
         return engine
 
     def run(
-        self, horizon: int, chunk: int = 1 << 14, engine: str = "auto"
+        self,
+        horizon: int,
+        chunk: int = 1 << 14,
+        engine: str = "auto",
+        environment: Environment | None = None,
     ) -> SimulationResult:
         """Simulate ``horizon`` slots; record each pair's first rendezvous.
 
         Both engines produce bit-identical events; see the module
         docstring for the dispatch rule.  ``chunk`` bounds the slot
-        window materialized at once on either path.
+        window materialized at once on either path.  ``environment``
+        (:class:`~repro.core.environment.Environment`) runs the whole
+        simulation under a fault mask on the global clock: a
+        coincidence only becomes a rendezvous on a mask-validated
+        ``(channel, slot)`` cell, identically on both engines.
         """
         if horizon <= 0:
             raise ValueError(f"horizon must be positive, got {horizon}")
         if self.resolve_engine(engine) == "vectorized":
-            return self._run_vectorized(horizon, chunk)
-        return self._run_pairwise(horizon, chunk)
+            return self._run_vectorized(horizon, chunk, environment)
+        return self._run_pairwise(horizon, chunk, environment)
 
-    def _run_pairwise(self, horizon: int, chunk: int) -> SimulationResult:
+    def _run_pairwise(
+        self,
+        horizon: int,
+        chunk: int,
+        environment: Environment | None = None,
+    ) -> SimulationResult:
         """The certification reference: compare each pending pair's windows.
 
         Complexity ``O(num_pairs * horizon)`` with numpy constant factors;
@@ -166,9 +180,14 @@ class Network:
                 i: self.agents[i].materialize_global(start, stop)
                 for i in sorted({index for pair in pending for index in pair})
             }
+            if environment is not None:
+                slots = np.arange(start, stop, dtype=np.int64)
             for i, j in sorted(pending):
                 row_i, row_j = windows[i], windows[j]
-                hits = np.nonzero((row_i == row_j) & (row_i != ASLEEP))[0]
+                eq = (row_i == row_j) & (row_i != ASLEEP)
+                if environment is not None:
+                    eq = eq & environment.slot_mask(row_i, slots)
+                hits = np.nonzero(eq)[0]
                 if hits.size == 0:
                     continue
                 t = start + int(hits[0])
@@ -184,12 +203,19 @@ class Network:
                 pending.discard((i, j))
         return SimulationResult(self.agents, events, horizon)
 
-    def _run_vectorized(self, horizon: int, chunk: int) -> SimulationResult:
+    def _run_vectorized(
+        self,
+        horizon: int,
+        chunk: int,
+        environment: Environment | None = None,
+    ) -> SimulationResult:
         """Run the columnar core and expand cohort events to pair events."""
         from repro.sim.netcore import Population, simulate_population
 
         population = Population.from_agents(self.agents)
-        result = simulate_population(population, horizon, chunk=chunk)
+        result = simulate_population(
+            population, horizon, chunk=chunk, environment=environment
+        )
         events: dict[tuple[str, str], RendezvousEvent] = {}
         for ai, bi, t, channel in result.iter_agent_events():
             a, b = self.agents[ai], self.agents[bi]

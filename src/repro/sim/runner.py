@@ -55,6 +55,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.core.batch import ENGINES, ttr_sweep
+from repro.core.environment import Environment, environment_digest, parse_environment
 from repro.core.results import ResultStore, pair_query, result_digest
 from repro.core.schedule import Schedule
 from repro.core.store import ScheduleStore, build_plain, store_key
@@ -80,12 +81,21 @@ MIN_PARALLEL_PAIRS = 8
 
 @dataclass(frozen=True)
 class MeasuredPair:
-    """Worst-case and sample TTRs for one agent pair under one algorithm."""
+    """Worst-case and sample TTRs for one agent pair under one algorithm.
+
+    ``missed`` counts the shifts in the plan that never rendezvoused
+    within the horizon.  On a clean run it is always zero (a miss
+    raises instead); under a fault environment misses are expected —
+    that loss *is* the measurement — so ``worst_ttr`` and ``stats``
+    summarize the shifts that still met (``worst_ttr`` is ``-1`` when
+    none did).
+    """
 
     algorithm: str
     pair: tuple[int, int]
     worst_ttr: int
     stats: TTRStats
+    missed: int = 0
 
 
 def shift_plan(
@@ -193,6 +203,18 @@ class SweepRunner:
     the intra-pair scan.  ``stream_workers`` pins the per-pair lane
     count on both paths instead (``None`` keeps the automatic split).
     Every split is bit-identical; see ``docs/TUNING.md``.
+
+    **Environment contract.** With ``environment=`` (an
+    :class:`~repro.core.environment.Environment`, or a spec string for
+    :func:`~repro.core.environment.parse_environment`), every sweep the
+    runner performs — serial or fanned out — runs under that fault
+    model: the mask passes straight through to
+    :func:`repro.core.batch.ttr_sweep`, the environment's canonical
+    spec joins the result-cache query (faulted and clean measurements
+    can never answer each other), and its digest joins the worker
+    runner key and any checkpoint digest.  Misses stop raising and are
+    counted in :attr:`MeasuredPair.missed` instead — under primary-user
+    churn a lost guarantee is the observation, not a bug.
     """
 
     def __init__(
@@ -204,6 +226,7 @@ class SweepRunner:
         stream_workers: int | None = None,
         results: ResultStore | str | os.PathLike | None = None,
         checkpoint_dir: str | os.PathLike | None = None,
+        environment: Environment | str | None = None,
     ):
         self.workers = os.cpu_count() or 1 if workers is None else max(1, workers)
         if store is not None and not isinstance(store, ScheduleStore):
@@ -224,6 +247,9 @@ class SweepRunner:
                 f"stream_workers must be positive, got {stream_workers}"
             )
         self.stream_workers = stream_workers
+        if isinstance(environment, str):
+            environment = parse_environment(environment)
+        self.environment = environment
         self._schedules: dict[
             tuple[frozenset[int], int, str, int], Schedule
         ] = {}
@@ -313,6 +339,9 @@ class SweepRunner:
         — deterministic algorithms must never miss when the horizon
         exceeds their guarantee; the randomized baseline gets the same
         horizon and is expected to make it with high probability.
+        Under an attached fault environment misses are expected, so
+        they are tallied in :attr:`MeasuredPair.missed` instead of
+        raising and the aggregates cover only the shifts that met.
         ``stream_workers`` pins the intra-pair streaming lanes for this
         one measurement; ``None`` takes the runner's one-pair budget
         (see :meth:`worker_budget`).
@@ -347,16 +376,30 @@ class SweepRunner:
         profile = ttr_sweep(
             a, b, plan, horizon, engine=self.engine, tile_bytes=self.tile_bytes,
             stream_workers=stream_workers, checkpoint=checkpoint,
+            environment=self.environment,
         )
+        missed = 0
+        samples = []
         for shift in plan:
-            if profile[shift] is None:
-                raise AssertionError(
-                    f"{algorithm} missed rendezvous within {horizon} slots for "
-                    f"pair {pair} at shift {shift} "
-                    f"(sets {sorted(instance.sets[i])} / {sorted(instance.sets[j])})"
-                )
-        samples = [profile[shift] for shift in plan]
-        measured = MeasuredPair(algorithm, pair, max(samples), summarize_ttrs(samples))
+            ttr = profile[shift]
+            if ttr is None:
+                if self.environment is None:
+                    raise AssertionError(
+                        f"{algorithm} missed rendezvous within {horizon} slots "
+                        f"for pair {pair} at shift {shift} "
+                        f"(sets {sorted(instance.sets[i])} / "
+                        f"{sorted(instance.sets[j])})"
+                    )
+                missed += 1
+            else:
+                samples.append(ttr)
+        if samples:
+            worst, stats = max(samples), summarize_ttrs(samples)
+        else:
+            # Every shift lost the guarantee: sentinel aggregates, the
+            # miss count carries the whole story.
+            worst, stats = -1, TTRStats(0, 0.0, 0.0, 0.0, -1, -1)
+        measured = MeasuredPair(algorithm, pair, worst, stats, missed)
         if checkpoint is not None:
             checkpoint.clear()
         if self.results is not None:
@@ -378,12 +421,13 @@ class SweepRunner:
         The randomized baseline additionally pins the derived per-agent
         tape seeds — two pairs over the same channel sets but different
         agent indices draw different tapes and must not share a cache
-        entry.
+        entry.  The runner's environment spec joins the query when one
+        is attached (clean queries are unchanged).
         """
         i, j = pair
         query = pair_query(
             algorithm, instance.n, instance.sets[i], instance.sets[j],
-            horizon, dense, probes, seed,
+            horizon, dense, probes, seed, environment=self.environment,
         )
         if algorithm == "random":
             query["agent_seeds"] = [seed * 1000 + i, seed * 1000 + j]
@@ -456,7 +500,7 @@ class SweepRunner:
                 (
                     instance, algorithm, pair, horizon, dense, probes, seed,
                     store_handle, self.engine, self.tile_bytes, stream_lanes,
-                    results_handle, checkpoint_handle,
+                    results_handle, checkpoint_handle, self.environment,
                 )
                 for pair in pairs
             ]
@@ -478,6 +522,7 @@ def _measured_record(measured: MeasuredPair) -> dict:
     stats = measured.stats
     return {
         "worst_ttr": measured.worst_ttr,
+        "missed": measured.missed,
         "stats": {
             "count": stats.count,
             "mean": stats.mean,
@@ -507,6 +552,9 @@ def _measured_from_record(
             maximum=int(stats["maximum"]),
             minimum=int(stats["minimum"]),
         ),
+        # Pre-environment records carry no miss count; they were all
+        # clean runs, where a miss raised instead of recording.
+        int(record.get("missed", 0)),
     )
 
 
@@ -521,11 +569,11 @@ def _measure_pair_task(payload: tuple) -> MeasuredPair:
     (
         instance, algorithm, pair, horizon, dense, probes, seed,
         store_handle, engine, tile_bytes, stream_lanes,
-        results_handle, checkpoint_handle,
+        results_handle, checkpoint_handle, environment,
     ) = payload
     runner_key = (
         store_handle, engine, tile_bytes, stream_lanes,
-        results_handle, checkpoint_handle,
+        results_handle, checkpoint_handle, environment_digest(environment),
     )
     runner = _WORKER_RUNNERS.get(runner_key)
     if runner is None:
@@ -542,7 +590,7 @@ def _measure_pair_task(payload: tuple) -> MeasuredPair:
         runner = SweepRunner(
             workers=1, store=store, engine=engine, tile_bytes=tile_bytes,
             stream_workers=stream_lanes, results=results,
-            checkpoint_dir=checkpoint_handle,
+            checkpoint_dir=checkpoint_handle, environment=environment,
         )
         _WORKER_RUNNERS[runner_key] = runner
     return runner.measure_pair(

@@ -11,6 +11,12 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import bounds
+from repro.core.environment import (
+    AsymmetricSensing,
+    FadingMisses,
+    PrimaryUserChurn,
+    compose,
+)
 from repro.core.epoch import EpochSchedule
 from repro.core.pairwise import async_period, pair_schedule_async
 from repro.core.symmetric import SymmetricWrappedSchedule
@@ -112,3 +118,70 @@ class TestSymmetricProperty:
         ttr = ttr_for_shift(a, b, shift, bound + 1)
         assert ttr is not None
         assert ttr <= bound
+
+
+class TestGuaranteeUnderFault:
+    """How the Theorem 3 guarantee behaves once faults are injected."""
+
+    @given(overlapping_sets(max_k=3), st.data())
+    @settings(max_examples=20)
+    def test_zero_intensity_preserves_guarantee_exactly(self, sets, data):
+        n, a_set, b_set = sets
+        a = EpochSchedule(a_set, n)
+        b = EpochSchedule(b_set, n)
+        bound = bounds.theorem3_async_bound(len(a_set), len(b_set), n)
+        shift = data.draw(st.integers(0, 10**5))
+        env = compose(
+            FadingMisses(0.0, seed=data.draw(st.integers(0, 2**32))),
+            PrimaryUserChurn(0.0, seed=1, dwell=8),
+            AsymmetricSensing(0.0, seed=2),
+        )
+        clean = ttr_for_shift(a, b, shift, bound + 1)
+        faulted = ttr_for_shift(a, b, shift, bound + 1, environment=env)
+        assert faulted == clean
+        assert faulted is not None and faulted <= bound
+
+    @given(overlapping_sets(max_k=3), st.data())
+    @settings(max_examples=20)
+    def test_faults_only_delay_never_hasten(self, sets, data):
+        n, a_set, b_set = sets
+        a = EpochSchedule(a_set, n)
+        b = EpochSchedule(b_set, n)
+        shift = data.draw(st.integers(0, 10**4))
+        env = data.draw(
+            st.sampled_from(
+                [
+                    FadingMisses(0.3, seed=4),
+                    PrimaryUserChurn(0.4, seed=5, dwell=8),
+                    AsymmetricSensing(0.3, seed=6),
+                ]
+            )
+        )
+        horizon = 4 * bounds.theorem3_async_bound(len(a_set), len(b_set), n)
+        clean = ttr_for_shift(a, b, shift, horizon)
+        faulted = ttr_for_shift(a, b, shift, horizon, environment=env)
+        assert clean is not None
+        if faulted is not None:
+            assert faulted >= clean
+
+    @given(overlapping_sets(max_k=3), st.data())
+    @settings(max_examples=20)
+    def test_churn_off_common_channels_keeps_theorem3(self, sets, data):
+        n, a_set, b_set = sets
+        a = EpochSchedule(a_set, n)
+        b = EpochSchedule(b_set, n)
+        outside = tuple(sorted(set(range(n)) - (a_set & b_set)))
+        if not outside:
+            return  # the pair shares the whole universe; nothing to scope
+        env = PrimaryUserChurn(
+            1.0,
+            seed=data.draw(st.integers(0, 2**32)),
+            dwell=data.draw(st.integers(1, 64)),
+            channels=outside,
+        )
+        bound = bounds.theorem3_async_bound(len(a_set), len(b_set), n)
+        shift = data.draw(st.integers(0, 10**5))
+        clean = ttr_for_shift(a, b, shift, bound + 1)
+        faulted = ttr_for_shift(a, b, shift, bound + 1, environment=env)
+        assert faulted == clean
+        assert faulted is not None and faulted <= bound

@@ -138,3 +138,83 @@ class TestResultStore:
 
     def test_default_cap(self, tmp_path):
         assert ResultStore(tmp_path).memory_cap == DEFAULT_RESULT_CAP
+
+
+class TestEnvironmentKeys:
+    """Faulted queries and their clean twins must never collide."""
+
+    @staticmethod
+    def _twins():
+        """A clean query and a faulted twin whose digests share a shard.
+
+        Shards are named by digest prefix, so most environment seeds
+        land the two records in different files; scanning seeds for a
+        prefix match pins the adversarial case — both rows in one
+        shard file — deterministically.
+        """
+        from repro.core.environment import FadingMisses
+
+        clean = _query()
+        prefix = result_digest(clean)[:SHARD_PREFIX_LEN]
+        for seed in range(100_000):
+            env = FadingMisses(0.25, seed=seed)
+            faulted = pair_query(
+                "drds", 64, [1, 5, 9], [5, 12], 10_000, 64, 64, 0,
+                environment=env,
+            )
+            if result_digest(faulted)[:SHARD_PREFIX_LEN] == prefix:
+                return clean, faulted
+        raise AssertionError("no shard-colliding seed found")
+
+    def test_clean_query_omits_environment_key(self):
+        from repro.core.environment import FadingMisses
+
+        clean = pair_query("drds", 64, [1, 5, 9], [5, 12], 10_000, 64, 64, 0)
+        assert "environment" not in clean
+        faulted = pair_query(
+            "drds", 64, [1, 5, 9], [5, 12], 10_000, 64, 64, 0,
+            environment=FadingMisses(0.25, seed=1),
+        )
+        assert faulted["environment"]["kind"] == "fading"
+        assert result_digest(clean) != result_digest(faulted)
+
+    def test_same_shard_twins_never_cross_answer(self, tmp_path):
+        clean, faulted = self._twins()
+        shard = result_digest(clean)[:SHARD_PREFIX_LEN]
+        assert result_digest(faulted)[:SHARD_PREFIX_LEN] == shard
+        store = ResultStore(tmp_path)
+        store.put(clean, {"worst_ttr": 111, "missed": 0})
+        store.put(faulted, {"worst_ttr": 999, "missed": 7})
+        assert len(store._shards()) == 1  # genuinely co-resident
+        assert store.get(clean) == {"worst_ttr": 111, "missed": 0}
+        assert store.get(faulted) == {"worst_ttr": 999, "missed": 7}
+
+    def test_eviction_counters_with_both_present(self, tmp_path):
+        clean, faulted = self._twins()
+        store = ResultStore(tmp_path, memory_cap=1_200)
+        store.put(clean, _value(0))
+        store.put(faulted, _value(1))
+        assert store.evictions == 0
+        # Fill with unrelated records until cold shards evict; the
+        # twins' shard was written last, so it survives the first
+        # eviction wave and both rows stay answerable.
+        import os
+
+        for shard in store._shards():
+            os.utime(shard, (1, 1))
+        evicted_before = store.evictions
+        for tag in range(2, 30):
+            store.put(_query(tag), _value(tag))
+        assert store.evictions > evicted_before
+        assert store.total_bytes() <= 1_200
+        stats = store.stats()
+        assert stats["evictions"] == store.evictions
+        assert stats["writes"] == 30
+        survivors = {
+            record["digest"] for record in store.entries()
+        }
+        for query, value in ((clean, _value(0)), (faulted, _value(1))):
+            if result_digest(query) in survivors:
+                assert store.get(query) == value
+            else:
+                assert store.get(query) is None

@@ -54,10 +54,14 @@ def build_agents(instance, universe, *, wake=None, leave=None, algorithm="paper"
     return agents
 
 
-def assert_engines_agree(agents, horizon, chunk=1 << 14):
+def assert_engines_agree(agents, horizon, chunk=1 << 14, environment=None):
     """Run both engines and require bit-identical event dictionaries."""
-    reference = Network(agents).run(horizon, chunk=chunk, engine="pairwise")
-    candidate = Network(agents).run(horizon, chunk=chunk, engine="vectorized")
+    reference = Network(agents).run(
+        horizon, chunk=chunk, engine="pairwise", environment=environment
+    )
+    candidate = Network(agents).run(
+        horizon, chunk=chunk, engine="vectorized", environment=environment
+    )
     assert candidate.events == reference.events
     return reference
 
@@ -145,6 +149,89 @@ class TestEngineParity:
         for i in range(5):
             for j in range(i + 1, 5):
                 assert reference.events[(f"a{i}", f"a{j}")].time == 4
+
+
+class TestEnvironmentParity:
+    """Masked runs: both engines agree under every fault family."""
+
+    @pytest.mark.parametrize(
+        "name,make", WORKLOADS, ids=[name for name, _ in WORKLOADS]
+    )
+    def test_workload_parity_under_fading(self, name, make):
+        from repro.core.environment import FadingMisses
+
+        instance = make()
+        agents = build_agents(instance, instance.n, wake=lambda i: (7 * i) % 23)
+        assert_engines_agree(
+            agents, 60_000, chunk=257, environment=FadingMisses(0.3, seed=2)
+        )
+
+    def test_parity_under_churn_and_composition(self):
+        from repro.core.environment import (
+            AsymmetricSensing,
+            FadingMisses,
+            PrimaryUserChurn,
+            compose,
+        )
+
+        instance = workloads.random_subsets(12, 3, 20, seed=12)
+        agents = build_agents(instance, 12, wake=lambda i: (5 * i) % 17)
+        for env in (
+            PrimaryUserChurn(0.4, seed=3, dwell=32),
+            AsymmetricSensing(0.3, seed=4),
+            compose(FadingMisses(0.15, seed=5), PrimaryUserChurn(0.2, seed=6, dwell=16)),
+        ):
+            assert_engines_agree(agents, 60_000, chunk=129, environment=env)
+
+    def test_zero_intensity_equals_clean(self):
+        from repro.core.environment import FadingMisses, PrimaryUserChurn, compose
+
+        instance = workloads.random_subsets(12, 3, 16, seed=13)
+        agents = build_agents(instance, 12, wake=lambda i: 3 * i)
+        clean = Network(agents).run(60_000, chunk=97, engine="vectorized")
+        zero = compose(FadingMisses(0.0, seed=9), PrimaryUserChurn(0.0, seed=9))
+        for engine in ("pairwise", "vectorized"):
+            masked = Network(agents).run(
+                60_000, chunk=97, engine=engine, environment=zero
+            )
+            assert masked.events == clean.events
+
+    def test_intra_cohort_first_valid_slot(self):
+        """A faded wake slot delays the intra-cohort meeting to the
+        first mask-validated slot, identically on both engines."""
+        from repro.core.environment import FadingMisses
+
+        schedule = repro.build_schedule({2, 5, 9}, 12)
+        agents = [Agent(f"a{i}", schedule, wake_time=4) for i in range(3)]
+        env = FadingMisses(0.6, seed=7)
+        reference = assert_engines_agree(
+            agents, 50_000, chunk=7, environment=env
+        )
+        clean = assert_engines_agree(agents, 50_000, chunk=7)
+        masked_time = reference.events[("a0", "a1")].time
+        assert masked_time >= clean.events[("a0", "a1")].time
+        for i in range(3):
+            for j in range(i + 1, 3):
+                assert reference.events[(f"a{i}", f"a{j}")].time == masked_time
+
+    def test_churned_agents_under_mask(self):
+        """Departures and fault masks interact identically on both engines."""
+        from repro.core.environment import PrimaryUserChurn
+
+        instance = workloads.random_subsets(12, 3, 20, seed=10)
+        leaves = {3: 1, 7: 40, 11: 500, 15: 2}
+        agents = build_agents(
+            instance,
+            12,
+            wake=lambda i: (3 * i) % 11,
+            leave=lambda i: leaves.get(i),
+        )
+        assert_engines_agree(
+            agents,
+            60_000,
+            chunk=97,
+            environment=PrimaryUserChurn(0.5, seed=8, dwell=8),
+        )
 
 
 class TestProperties:

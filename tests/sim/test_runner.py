@@ -383,3 +383,102 @@ class TestSweepRunnerCheckpoint:
         ).measure_pair(instance, "paper", pair, 100_000)
         assert resumed == plain
         assert list(ckpt.glob("*.ckpt.json")) == []
+
+
+class TestSweepRunnerEnvironment:
+    """Fault environments threaded through the measurement harness."""
+
+    def test_spec_string_is_parsed(self):
+        from repro.core.environment import FadingMisses
+
+        r = runner.SweepRunner(workers=1, environment="fading:p=0.2,seed=3")
+        assert r.environment == FadingMisses(0.2, seed=3)
+        assert runner.SweepRunner(workers=1).environment is None
+
+    def test_zero_intensity_matches_clean(self):
+        from repro.core.environment import FadingMisses
+
+        instance = single_overlap(10, 3, 3, seed=2)
+        pair = instance.overlapping_pairs()[0]
+        clean = runner.SweepRunner(workers=1).measure_pair(
+            instance, "paper", pair, 50_000
+        )
+        zeroed = runner.SweepRunner(
+            workers=1, environment=FadingMisses(0.0, seed=5)
+        ).measure_pair(instance, "paper", pair, 50_000)
+        assert zeroed == clean
+
+    def test_misses_tolerated_and_counted(self):
+        from repro.core.environment import PrimaryUserChurn
+
+        instance = single_overlap(10, 3, 3, seed=2)
+        pair = instance.overlapping_pairs()[0]
+        i, j = pair
+        common = tuple(sorted(instance.sets[i] & instance.sets[j]))
+        # Seize every common channel in every window: nothing can meet.
+        env = PrimaryUserChurn(1.0, seed=1, dwell=4, channels=common)
+        measured = runner.SweepRunner(
+            workers=1, environment=env
+        ).measure_pair(instance, "paper", pair, 20_000)
+        assert measured.missed == measured.stats.count + measured.missed > 0
+        assert measured.worst_ttr == -1
+        assert measured.stats.count == 0
+
+    def test_clean_runs_still_raise_on_miss(self):
+        instance = single_overlap(10, 3, 3, seed=2)
+        pair = instance.overlapping_pairs()[0]
+        with pytest.raises(AssertionError):
+            runner.SweepRunner(workers=1).measure_pair(
+                instance, "paper", pair, 2
+            )
+
+    def test_result_cache_separates_clean_and_faulted(self, tmp_path):
+        from repro.core.environment import FadingMisses
+
+        instance = single_overlap(10, 3, 3, seed=2)
+        pair = instance.overlapping_pairs()[0]
+        env = FadingMisses(0.4, seed=8)
+        clean_runner = runner.SweepRunner(workers=1, results=tmp_path)
+        fault_runner = runner.SweepRunner(
+            workers=1, results=tmp_path, environment=env
+        )
+        clean = clean_runner.measure_pair(instance, "paper", pair, 50_000)
+        faulted = fault_runner.measure_pair(instance, "paper", pair, 50_000)
+        # Warm replays answer from the shared store without crossing.
+        assert clean_runner.measure_pair(
+            instance, "paper", pair, 50_000
+        ) == clean
+        assert fault_runner.measure_pair(
+            instance, "paper", pair, 50_000
+        ) == faulted
+        assert clean_runner.results.hits == 1
+        assert fault_runner.results.hits == 1
+        q_clean = clean_runner.pair_query_for(instance, "paper", pair, 50_000)
+        q_fault = fault_runner.pair_query_for(instance, "paper", pair, 50_000)
+        from repro.core.results import result_digest
+
+        assert result_digest(q_clean) != result_digest(q_fault)
+
+    def test_parallel_fanout_carries_environment(self):
+        from repro.core.environment import FadingMisses
+
+        instance = random_subsets(10, 3, 8, seed=4)
+        env = FadingMisses(0.3, seed=6)
+        serial = runner.SweepRunner(workers=1, environment=env)
+        parallel = runner.SweepRunner(workers=2, environment=env)
+        horizon = 60_000
+        assert parallel.measure_instance(
+            instance, "paper", horizon
+        ) == serial.measure_instance(instance, "paper", horizon)
+
+    def test_measured_record_roundtrips_missed(self):
+        measured = runner.MeasuredPair(
+            "paper", (0, 1), -1, runner.TTRStats(0, 0.0, 0.0, 0.0, -1, -1), 5
+        )
+        record = runner._measured_record(measured)
+        assert record["missed"] == 5
+        assert runner._measured_from_record("paper", (0, 1), record) == measured
+        # Pre-environment records (no "missed" key) hydrate as clean.
+        del record["missed"]
+        legacy = runner._measured_from_record("paper", (0, 1), record)
+        assert legacy.missed == 0

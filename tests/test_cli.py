@@ -536,3 +536,111 @@ class TestSweepServiceFlags:
         ) == 0
         out = capsys.readouterr().out
         assert "0 built, 3 attached" in out
+
+
+class TestSweepEnvironmentFlags:
+    ARGS = [
+        "sweep", "--agents", "1,5/5,9/1,9", "--universe", "16",
+        "--dense", "4", "--probes", "4",
+    ]
+
+    def test_environment_adds_missed_column_and_digest(self, capsys):
+        code = main(self.ARGS + ["--environment", "fading:p=0.0,seed=1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "environment: " in out
+        assert "missed" in out
+        rows = [l for l in out.splitlines() if l[:3].count("-") == 1]
+        assert len(rows) == 3
+        # Zero intensity: the missed column is identically zero.
+        assert all(row.split()[-1] == "0" for row in rows)
+
+    def test_clean_output_unchanged_by_feature(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "missed" not in out
+        assert "environment:" not in out
+
+    def test_malformed_environment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                self.ARGS + ["--environment", "solarflare:p=0.1"]
+            )
+
+    def test_degradation_requires_environment(self, capsys):
+        code = main(self.ARGS + ["--degradation", "5000"])
+        assert code == 2
+        assert "--degradation requires --environment" in capsys.readouterr().out
+
+    def test_degradation_report_round_trips(self, capsys):
+        import json
+
+        code = main(
+            self.ARGS
+            + ["--environment", "fading:p=0.0,seed=1",
+               "--degradation", "100000"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["mode"] == "degradation"
+        assert payload["algorithm"] == "paper"
+        assert payload["bound"] == 100000
+        assert payload["environment"]["kind"] == "fading"
+        assert len(payload["environment_digest"]) == 32
+        assert len(payload["pairs"]) == 3
+        for row in payload["pairs"]:
+            # Zero intensity: every shift survives with inflation 1.0.
+            assert row["ok"] is True
+            assert row["survival_fraction"] == 1.0
+            assert row["lost_shifts"] == []
+            assert row["faulted_worst"] == row["clean_worst"]
+            assert row["inflation_max"] == 1.0
+
+    def test_degradation_unmet_bound_fails(self, capsys):
+        import json
+
+        code = main(
+            self.ARGS
+            + ["--environment", "fading:p=0.0,seed=1", "--degradation", "1"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        assert any(row["ok"] is False for row in payload["pairs"])
+
+
+class TestNetsimEnvironmentFlags:
+    ARGS = [
+        "netsim", "--workload", "random_subsets", "--universe", "12",
+        "--k", "3", "--agents", "120", "--wake-spread", "8",
+        "--horizon", "100000",
+    ]
+
+    def test_environment_banner_line(self, capsys):
+        code = main(self.ARGS + ["--environment", "fading:p=0.0,seed=1"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "environment: " in out
+
+    def test_certify_probes_masked_paths(self, capsys):
+        code = main(self.ARGS + ["--certify", "20"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "bit-identical" in out
+        assert "clean + masked: fading, pu-churn" in out
+
+    def test_certify_json_includes_per_probe_checks(self, capsys):
+        import json
+
+        code = main(
+            self.ARGS
+            + ["--json", "--certify", "20", "--seed", "3",
+               "--environment", "fading:p=0.0,seed=1"]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        checks = payload["parity"]["checks"]
+        assert set(checks) == {"clean", "fading", "pu-churn", "requested"}
+        assert all(checks.values())
+        assert payload["parity"]["identical"] is True
+        assert isinstance(payload["environment"], str)
+        assert len(payload["environment"]) == 32
