@@ -17,6 +17,7 @@ numbers without writing Python:
     python -m repro sweep --agents ... --universe 64 --checkpoint-dir .ckpt --resume
     python -m repro sweep --agents ... --universe 64 --environment pu-churn:rate=0.1,seed=7
     python -m repro sweep --agents ... --universe 64 --environment fading:p=0.05 --degradation 4000
+    python -m repro sweep --agents ... --universe 64 --engine stream --telemetry text
     python -m repro serve --a 3,17,40 --b 17,58 --universe 64 --results-dir .results
     python -m repro serve --a ... --b ... --universe 64 --results-dir .results --json
     python -m repro store prewarm --agents ... --universe 64 --store-dir .schedules
@@ -39,7 +40,7 @@ from pathlib import Path
 
 import repro
 from repro.analysis import format_table, walk_plot
-from repro.core import bounds
+from repro.core import bounds, telemetry
 from repro.core.environment import (
     FadingMisses,
     PrimaryUserChurn,
@@ -147,6 +148,27 @@ def _parse_fraction(text: str) -> float:
             f"fraction must be in [0, 1], got {value}"
         )
     return value
+
+
+def _add_telemetry_arg(parser: argparse.ArgumentParser) -> None:
+    """Attach the shared ``--telemetry`` flag to one subcommand parser.
+
+    ``text`` prints the hierarchical phase tree
+    (:func:`repro.core.telemetry.format_tree`) after the command's
+    normal output; ``json`` prints one sorted-keys JSON object —
+    ``{"telemetry": <snapshot>, "wall_seconds": ...}`` — as the *last*
+    stdout line, so scripts can ``tail -n 1`` it (the BENCH-json-style
+    shape ``docs/OBSERVABILITY.md`` documents).  Results are
+    bit-identical with and without the flag.
+    """
+    parser.add_argument(
+        "--telemetry",
+        choices=("text", "json"),
+        default=None,
+        help="print a phase-timing tree after the run: 'text' renders "
+        "it human-readable, 'json' emits one JSON object as the last "
+        "output line; results are identical either way",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -284,6 +306,7 @@ def build_parser() -> argparse.ArgumentParser:
         dest="as_json",
         help="emit the summary as one JSON object instead of plain text",
     )
+    _add_telemetry_arg(netsim)
 
     sweep = sub.add_parser(
         "sweep",
@@ -394,6 +417,7 @@ def build_parser() -> argparse.ArgumentParser:
         "keep the BOUND-slot guarantee under --environment, with the "
         "TTR inflation distribution",
     )
+    _add_telemetry_arg(sweep)
 
     serve = sub.add_parser(
         "serve",
@@ -434,6 +458,7 @@ def build_parser() -> argparse.ArgumentParser:
         dest="as_json",
         help="emit the answer as one JSON object instead of plain text",
     )
+    _add_telemetry_arg(serve)
 
     store = sub.add_parser(
         "store",
@@ -911,6 +936,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         args.universe, [frozenset(args.a), frozenset(args.b)], "serve"
     )
     hits_before = results.hits
+    request_start = time.perf_counter()
     try:
         measured = runner.measure_pair(
             instance,
@@ -924,6 +950,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except (AssertionError, ValueError) as exc:
         print(f"serve failed: {exc}")
         return 1
+    latency = time.perf_counter() - request_start
     source = "cache hit" if results.hits > hits_before else "computed"
     query = runner.pair_query_for(
         instance, args.algorithm, (0, 1), args.horizon,
@@ -945,6 +972,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                         "minimum": measured.stats.minimum,
                     },
                     "source": source,
+                    "latency_seconds": round(latency, 6),
                     "cache": results.stats(),
                 },
                 sort_keys=True,
@@ -955,6 +983,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     print(f"algorithm: {args.algorithm}")
     print(f"common channels: {common}")
     print(f"worst TTR: {measured.worst_ttr} slots (source: {source})")
+    print(f"latency: {latency * 1000:.1f} ms")
     print(
         f"mean {measured.stats.mean:.2f}, p95 {measured.stats.p95:.2f} "
         f"over {measured.stats.count} shifts"
@@ -1048,8 +1077,40 @@ _HANDLERS = {
 
 
 def main(argv: Sequence[str] | None = None) -> int:
+    """Parse arguments and dispatch to the subcommand handler.
+
+    When the subcommand accepts ``--telemetry`` and it was given, the
+    process telemetry registry is enabled around the handler and the
+    phase tree is printed after the command's own output — as
+    human-readable text or as one JSON object on the final stdout line
+    (see :func:`repro.core.telemetry.format_tree`).  The registry is
+    reset first and disabled after, so back-to-back ``main`` calls in
+    one process never bleed telemetry into each other.
+    """
     args = build_parser().parse_args(argv)
-    return _HANDLERS[args.command](args)
+    mode = getattr(args, "telemetry", None)
+    if mode is None:
+        return _HANDLERS[args.command](args)
+    telemetry.reset()
+    telemetry.enable()
+    wall_start = time.perf_counter()
+    try:
+        code = _HANDLERS[args.command](args)
+    finally:
+        wall = time.perf_counter() - wall_start
+        snapshot = telemetry.snapshot()
+        telemetry.disable()
+        telemetry.reset()
+        if mode == "json":
+            print(
+                json.dumps(
+                    {"telemetry": snapshot, "wall_seconds": round(wall, 4)},
+                    sort_keys=True,
+                )
+            )
+        else:
+            print(telemetry.format_tree(snapshot, wall_seconds=wall))
+    return code
 
 
 if __name__ == "__main__":

@@ -48,6 +48,11 @@ results
     Persistent result cache: whole sweep measurements keyed by a
     content digest of their engine-invariant inputs, served back in
     microseconds — the database layer behind ``python -m repro serve``.
+telemetry
+    Process-local observability registry: named counters, gauges, and
+    nested timing spans that every hot path reports into — zero
+    overhead when disabled, never observable by results, surfaced as
+    ``--telemetry text|json`` on the CLIs (``docs/OBSERVABILITY.md``).
 """
 
 from repro.core.environment import (

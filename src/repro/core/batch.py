@@ -47,6 +47,7 @@ from numpy.lib.stride_tricks import sliding_window_view
 
 from repro.core import schedule as _schedule
 from repro.core import stream as _stream
+from repro.core import telemetry
 from repro.core.environment import Environment, effective_horizon
 from repro.core.schedule import Schedule
 
@@ -208,17 +209,18 @@ def ttr_sweep(
     # sweeps run ~2x faster this way.
     ttrs = np.empty(len(unique_pairs), dtype=np.int64)
     negative = unique_pairs[:, 1] != 0
-    for group in (~negative, negative):
-        if group.any():
-            ttrs[group] = _profile_offsets(
-                a.period_table(),
-                b.period_table(),
-                unique_pairs[group, 0],
-                unique_pairs[group, 1],
-                effective,
-                max_cells,
-                environment,
-            )
+    with telemetry.span("batch.sweep"):
+        for group in (~negative, negative):
+            if group.any():
+                ttrs[group] = _profile_offsets(
+                    a.period_table(),
+                    b.period_table(),
+                    unique_pairs[group, 0],
+                    unique_pairs[group, 1],
+                    effective,
+                    max_cells,
+                    environment,
+                )
     return _stream.scatter_ttrs(shift_list, ttrs, inverse)
 
 
@@ -253,10 +255,11 @@ def _scalar_sweep(
 ) -> dict[int, int | None]:
     from repro.core.verification import ttr_for_shift
 
-    return {
-        s: ttr_for_shift(a, b, s, horizon, environment=environment)
-        for s in shifts
-    }
+    with telemetry.span("scalar.sweep"):
+        return {
+            s: ttr_for_shift(a, b, s, horizon, environment=environment)
+            for s in shifts
+        }
 
 
 def _windows(table: np.ndarray, starts: np.ndarray, length: int) -> np.ndarray:
@@ -303,17 +306,26 @@ def _profile_offsets(
         while t0 < horizon and remaining.size:
             t1 = min(t0 + block, horizon)
             length = t1 - t0
-            wa = _windows(table_a, (off_a[remaining] + t0) % table_a.size, length)
-            wb = _windows(table_b, (off_b[remaining] + t0) % table_b.size, length)
-            eq = wa == wb
-            if environment is not None:
-                eq = eq & environment.slot_mask(
-                    wa, np.arange(t0, t1, dtype=np.int64)
+            with telemetry.span("batch.assemble") as tile_span:
+                wa = _windows(
+                    table_a, (off_a[remaining] + t0) % table_a.size, length
                 )
-            hit = eq.any(axis=1)
-            if hit.any():
-                result[remaining[hit]] = t0 + eq[hit].argmax(axis=1)
-                remaining = remaining[~hit]
+                wb = _windows(
+                    table_b, (off_b[remaining] + t0) % table_b.size, length
+                )
+                tile_span.add_bytes(wa.nbytes + wb.nbytes)
+            with telemetry.span("batch.compare"):
+                eq = wa == wb
+            if environment is not None:
+                with telemetry.span("batch.mask"):
+                    eq = eq & environment.slot_mask(
+                        wa, np.arange(t0, t1, dtype=np.int64)
+                    )
+            with telemetry.span("batch.retire"):
+                hit = eq.any(axis=1)
+                if hit.any():
+                    result[remaining[hit]] = t0 + eq[hit].argmax(axis=1)
+                    remaining = remaining[~hit]
             t0 = t1
             # Survivors are the slow rows: widen the time window so the
             # scan stays O(horizon) passes, within the memory budget.

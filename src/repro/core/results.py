@@ -45,6 +45,8 @@ import tempfile
 from collections.abc import Iterable
 from pathlib import Path
 
+from repro.core import telemetry
+
 __all__ = [
     "ResultStore",
     "pair_query",
@@ -149,6 +151,16 @@ class ResultStore:
         self.invalidations = 0
         self.evictions = 0
 
+    def _bump(self, name: str) -> None:
+        """Increment one counter: the instance attribute stays the
+        public per-store view, and the same event lands on the process
+        telemetry registry under ``store.result.<name>`` — namespaced
+        apart from the schedule store's counters, so the two stores'
+        identically named events (``evictions``) never collide in one
+        :func:`repro.core.telemetry.snapshot`."""
+        setattr(self, name, getattr(self, name) + 1)
+        telemetry.count(f"store.result.{name}")
+
     # -- lookup ----------------------------------------------------------
 
     def get(self, query: dict) -> dict | None:
@@ -161,9 +173,9 @@ class ResultStore:
         path = self._shard_path(digest)
         record = self._read_shard(path).get(digest)
         if record is None:
-            self.misses += 1
+            self._bump("misses")
             return None
-        self.hits += 1
+        self._bump("hits")
         try:
             os.utime(path)  # refresh LRU position
         except OSError:
@@ -195,7 +207,7 @@ class ResultStore:
         except BaseException:
             Path(tmp).unlink(missing_ok=True)
             raise
-        self.writes += 1
+        self._bump("writes")
 
     def invalidate(self, query: dict) -> bool:
         """Drop one cached result by query; returns whether it existed.
@@ -224,7 +236,7 @@ class ResultStore:
                 raise
         else:
             path.unlink(missing_ok=True)
-        self.invalidations += 1
+        self._bump("invalidations")
         return True
 
     # -- inspection ------------------------------------------------------
@@ -309,4 +321,4 @@ class ResultStore:
             except OSError:
                 continue
             total -= size
-            self.evictions += 1
+            self._bump("evictions")

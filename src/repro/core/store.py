@@ -65,6 +65,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.core import telemetry
 from repro.core.schedule import _CACHE_LIMIT, Schedule
 
 __all__ = [
@@ -275,6 +276,14 @@ class ScheduleStore:
         self.global_attaches = 0
         self._globals: dict[int, np.ndarray] = {}
 
+    def _bump(self, name: str) -> None:
+        """Increment one counter: the instance attribute stays the
+        public per-store view, and the same event lands on the process
+        telemetry registry under ``store.schedule.<name>`` so one
+        :func:`repro.core.telemetry.snapshot` covers every store."""
+        setattr(self, name, getattr(self, name) + 1)
+        telemetry.count(f"store.schedule.{name}")
+
     # -- lookup ----------------------------------------------------------
 
     def get(
@@ -299,14 +308,14 @@ class ScheduleStore:
 
         schedule = self._build_for_store(key[0], n, algorithm, seed)
         if schedule.period > STORE_PERIOD_LIMIT:
-            self.bypasses += 1
+            self._bump("bypasses")
             return schedule
         table = np.ascontiguousarray(schedule.period_table(), dtype=np.int64)
         if not self._ensure_capacity(table.nbytes):
-            self.bypasses += 1
+            self._bump("bypasses")
             return schedule
         self._write(digest, key, table)
-        self.builds += 1
+        self._bump("builds")
         attached = self._try_attach(self._table_path(digest), key[0], count=False)
         if attached is not None:
             return attached
@@ -356,7 +365,7 @@ class ScheduleStore:
         digest = key_digest(key)
         attached = self._attach_array(self._find_table(digest))
         if attached is not None:
-            self.global_attaches += 1
+            self._bump("global_attaches")
             self._globals[n] = attached
             return attached
         from repro.baselines.drds import build_global_sequence
@@ -371,7 +380,7 @@ class ScheduleStore:
             self._globals[n] = sequence
             return sequence
         self._write(digest, key, sequence)
-        self.global_builds += 1
+        self._bump("global_builds")
         attached = self._attach_array(self._table_path(digest))
         self._globals[n] = sequence if attached is None else attached
         return self._globals[n]
@@ -444,7 +453,7 @@ class ScheduleStore:
             table_path.unlink(missing_ok=True)
             table_path.with_suffix(".json").unlink(missing_ok=True)
         if existed:
-            self.evictions += 1
+            self._bump("evictions")
         return existed
 
     def clear(self) -> int:
@@ -503,7 +512,7 @@ class ScheduleStore:
         if table is None:
             return None
         if count:
-            self.attaches += 1
+            self._bump("attaches")
         return StoredSchedule(table, channels)
 
     def _table_path(self, digest: str) -> Path:

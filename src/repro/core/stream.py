@@ -78,6 +78,7 @@ from pathlib import Path
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
+from repro.core import telemetry
 from repro.core.environment import (
     Environment,
     effective_horizon,
@@ -310,16 +311,19 @@ class SweepCheckpoint:
 
     def save(self, state: dict) -> None:
         """Atomically persist one snapshot (temp file + ``os.replace``)."""
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=self.path.parent, suffix=".ckpt.tmp")
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(state, handle)
-            os.replace(tmp, self.path)
-        except BaseException:
-            Path(tmp).unlink(missing_ok=True)
-            raise
-        self.saves += 1
+        with telemetry.span("stream.checkpoint_io") as io_span:
+            payload = json.dumps(state)
+            io_span.add_bytes(len(payload))
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(dir=self.path.parent, suffix=".ckpt.tmp")
+            try:
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(payload)
+                os.replace(tmp, self.path)
+            except BaseException:
+                Path(tmp).unlink(missing_ok=True)
+                raise
+            self.saves += 1
 
     def clear(self) -> None:
         """Delete the snapshot file (a completed sweep needs no resume)."""
@@ -492,36 +496,38 @@ def ttr_sweep_stream(
     if horizon <= 0:
         return {s: None for s in shift_list}
 
-    unique_pairs, inverse = reduce_shifts(a, b, shift_list)
-    effective = effective_horizon(
-        horizon, math.lcm(a.period, b.period), environment
-    )
-    # Each shift pins one side's offset to zero, so the sign groups are
-    # profiled separately with the zero side as the broadcast row.
-    ttrs = np.empty(len(unique_pairs), dtype=np.int64)
-    negative = unique_pairs[:, 1] != 0
-    recorder = None
-    if checkpoint is not None:
-        recorder = _CheckpointRecorder(
-            checkpoint,
-            _sweep_spec(a, b, unique_pairs, effective, environment),
-            {0: int((~negative).sum()), 1: int(negative.sum())},
-            checkpoint.load(),
+    with telemetry.span("stream.sweep"):
+        unique_pairs, inverse = reduce_shifts(a, b, shift_list)
+        effective = effective_horizon(
+            horizon, math.lcm(a.period, b.period), environment
         )
-    groups = ((~negative, a, b, 0), (negative, b, a, 1))
-    for gid, (group, var, fixed, column) in enumerate(groups):
-        if not group.any():
-            continue
-        group_plan = plan
-        if group_plan is None:
-            group_plan = plan_tiles(
-                int(group.sum()), effective, workers=workers, tile_bytes=tile_bytes
+        # Each shift pins one side's offset to zero, so the sign groups
+        # are profiled separately with the zero side as the broadcast row.
+        ttrs = np.empty(len(unique_pairs), dtype=np.int64)
+        negative = unique_pairs[:, 1] != 0
+        recorder = None
+        if checkpoint is not None:
+            recorder = _CheckpointRecorder(
+                checkpoint,
+                _sweep_spec(a, b, unique_pairs, effective, environment),
+                {0: int((~negative).sum()), 1: int(negative.sum())},
+                checkpoint.load(),
             )
-        ttrs[group] = _stream_offsets(
-            var, fixed, unique_pairs[group, column], effective, group_plan,
-            recorder=recorder, gid=gid, environment=environment,
-        )
-    return scatter_ttrs(shift_list, ttrs, inverse)
+        groups = ((~negative, a, b, 0), (negative, b, a, 1))
+        for gid, (group, var, fixed, column) in enumerate(groups):
+            if not group.any():
+                continue
+            group_plan = plan
+            if group_plan is None:
+                group_plan = plan_tiles(
+                    int(group.sum()), effective,
+                    workers=workers, tile_bytes=tile_bytes,
+                )
+            ttrs[group] = _stream_offsets(
+                var, fixed, unique_pairs[group, column], effective, group_plan,
+                recorder=recorder, gid=gid, environment=environment,
+            )
+        return scatter_ttrs(shift_list, ttrs, inverse)
 
 
 def ttr_sweep_stream_serial(
@@ -554,21 +560,22 @@ def ttr_sweep_stream_serial(
     if horizon <= 0:
         return {s: None for s in shift_list}
 
-    unique_pairs, inverse = reduce_shifts(a, b, shift_list)
-    effective = effective_horizon(
-        horizon, math.lcm(a.period, b.period), environment
-    )
-    ttrs = np.empty(len(unique_pairs), dtype=np.int64)
-    negative = unique_pairs[:, 1] != 0
-    if (~negative).any():
-        ttrs[~negative] = _stream_offsets_serial(
-            a, b, unique_pairs[~negative, 0], effective, tile_bytes, environment
+    with telemetry.span("stream.sweep"):
+        unique_pairs, inverse = reduce_shifts(a, b, shift_list)
+        effective = effective_horizon(
+            horizon, math.lcm(a.period, b.period), environment
         )
-    if negative.any():
-        ttrs[negative] = _stream_offsets_serial(
-            b, a, unique_pairs[negative, 1], effective, tile_bytes, environment
-        )
-    return scatter_ttrs(shift_list, ttrs, inverse)
+        ttrs = np.empty(len(unique_pairs), dtype=np.int64)
+        negative = unique_pairs[:, 1] != 0
+        if (~negative).any():
+            ttrs[~negative] = _stream_offsets_serial(
+                a, b, unique_pairs[~negative, 0], effective, tile_bytes, environment
+            )
+        if negative.any():
+            ttrs[negative] = _stream_offsets_serial(
+                b, a, unique_pairs[negative, 1], effective, tile_bytes, environment
+            )
+        return scatter_ttrs(shift_list, ttrs, inverse)
 
 
 def reduce_shifts(
@@ -702,17 +709,23 @@ def _scan_block(
     while t0 < horizon and remaining.size:
         t1 = min(t0 + length, horizon)
         width = t1 - t0
-        rows = _gather_tile(var, offsets[remaining], t0, width)
-        eq = rows == fixed_rows.row(t0, t1)[np.newaxis, :]
+        with telemetry.span("stream.tile_assembly") as tile_span:
+            rows = _gather_tile(var, offsets[remaining], t0, width)
+            fixed_row = fixed_rows.row(t0, t1)
+            tile_span.add_bytes(rows.nbytes)
+        with telemetry.span("stream.compare"):
+            eq = rows == fixed_row[np.newaxis, :]
         if environment is not None:
-            eq = eq & environment.slot_mask(
-                rows, np.arange(t0, t1, dtype=np.int64)
-            )
-        hit = eq.any(axis=1)
-        hit_rows = remaining[hit]
-        if hit.any():
-            result[hit_rows] = t0 + eq[hit].argmax(axis=1)
-            remaining = remaining[~hit]
+            with telemetry.span("stream.mask"):
+                eq = eq & environment.slot_mask(
+                    rows, np.arange(t0, t1, dtype=np.int64)
+                )
+        with telemetry.span("stream.retire"):
+            hit = eq.any(axis=1)
+            hit_rows = remaining[hit]
+            if hit.any():
+                result[hit_rows] = t0 + eq[hit].argmax(axis=1)
+                remaining = remaining[~hit]
         t0 = t1
         if recorder is not None:
             recorder.update(gid, hit_rows, result[hit_rows], remaining, t0)
@@ -849,16 +862,22 @@ def _stream_offsets_serial(
         while t0 < horizon and remaining.size:
             t1 = min(t0 + length, horizon)
             width = t1 - t0
-            rows = _gather_rows_serial(var, offsets[remaining], t0, width)
-            eq = rows == fixed_rows.row(t0, t1)[np.newaxis, :]
+            with telemetry.span("stream.tile_assembly") as tile_span:
+                rows = _gather_rows_serial(var, offsets[remaining], t0, width)
+                fixed_row = fixed_rows.row(t0, t1)
+                tile_span.add_bytes(rows.nbytes)
+            with telemetry.span("stream.compare"):
+                eq = rows == fixed_row[np.newaxis, :]
             if environment is not None:
-                eq = eq & environment.slot_mask(
-                    rows, np.arange(t0, t1, dtype=np.int64)
-                )
-            hit = eq.any(axis=1)
-            if hit.any():
-                result[remaining[hit]] = t0 + eq[hit].argmax(axis=1)
-                remaining = remaining[~hit]
+                with telemetry.span("stream.mask"):
+                    eq = eq & environment.slot_mask(
+                        rows, np.arange(t0, t1, dtype=np.int64)
+                    )
+            with telemetry.span("stream.retire"):
+                hit = eq.any(axis=1)
+                if hit.any():
+                    result[remaining[hit]] = t0 + eq[hit].argmax(axis=1)
+                    remaining = remaining[~hit]
             t0 = t1
             length = min(length * 2, max(1, cells // max(remaining.size, 1)))
     return result

@@ -54,6 +54,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.core import telemetry
 from repro.core.batch import ENGINES, ttr_sweep
 from repro.core.environment import Environment, environment_digest, parse_environment
 from repro.core.results import ResultStore, pair_query, result_digest
@@ -351,60 +352,65 @@ class SweepRunner:
         computed one is written through; with a checkpoint directory,
         the sweep itself is interrupt/resumable.
         """
-        i, j = pair
-        query = None
-        if self.results is not None or self.checkpoint_dir is not None:
-            query = self.pair_query_for(
-                instance, algorithm, pair, horizon, dense, probes, seed
+        with telemetry.span("runner.measure_pair"):
+            i, j = pair
+            query = None
+            if self.results is not None or self.checkpoint_dir is not None:
+                query = self.pair_query_for(
+                    instance, algorithm, pair, horizon, dense, probes, seed
+                )
+            if self.results is not None:
+                cached = self.results.get(query)
+                if cached is not None:
+                    return _measured_from_record(algorithm, pair, cached)
+            a = self.schedule_for(
+                instance.sets[i], instance.n, algorithm, seed * 1000 + i
             )
-        if self.results is not None:
-            cached = self.results.get(query)
-            if cached is not None:
-                return _measured_from_record(algorithm, pair, cached)
-        a = self.schedule_for(instance.sets[i], instance.n, algorithm, seed * 1000 + i)
-        b = self.schedule_for(instance.sets[j], instance.n, algorithm, seed * 1000 + j)
-        plan = shift_plan(a, b, dense=dense, probes=probes, seed=seed)
-        if not plan:
-            raise ValueError("empty shift plan: need dense > 0 or probes > 0")
-        if stream_workers is None:
-            stream_workers = self.worker_budget(1)[1]
-        checkpoint = None
-        if self.checkpoint_dir is not None:
-            checkpoint = SweepCheckpoint(
-                self.checkpoint_dir / f"{result_digest(query)}.ckpt.json"
+            b = self.schedule_for(
+                instance.sets[j], instance.n, algorithm, seed * 1000 + j
             )
-        profile = ttr_sweep(
-            a, b, plan, horizon, engine=self.engine, tile_bytes=self.tile_bytes,
-            stream_workers=stream_workers, checkpoint=checkpoint,
-            environment=self.environment,
-        )
-        missed = 0
-        samples = []
-        for shift in plan:
-            ttr = profile[shift]
-            if ttr is None:
-                if self.environment is None:
-                    raise AssertionError(
-                        f"{algorithm} missed rendezvous within {horizon} slots "
-                        f"for pair {pair} at shift {shift} "
-                        f"(sets {sorted(instance.sets[i])} / "
-                        f"{sorted(instance.sets[j])})"
-                    )
-                missed += 1
+            plan = shift_plan(a, b, dense=dense, probes=probes, seed=seed)
+            if not plan:
+                raise ValueError("empty shift plan: need dense > 0 or probes > 0")
+            if stream_workers is None:
+                stream_workers = self.worker_budget(1)[1]
+            checkpoint = None
+            if self.checkpoint_dir is not None:
+                checkpoint = SweepCheckpoint(
+                    self.checkpoint_dir / f"{result_digest(query)}.ckpt.json"
+                )
+            profile = ttr_sweep(
+                a, b, plan, horizon, engine=self.engine,
+                tile_bytes=self.tile_bytes, stream_workers=stream_workers,
+                checkpoint=checkpoint, environment=self.environment,
+            )
+            missed = 0
+            samples = []
+            for shift in plan:
+                ttr = profile[shift]
+                if ttr is None:
+                    if self.environment is None:
+                        raise AssertionError(
+                            f"{algorithm} missed rendezvous within {horizon} "
+                            f"slots for pair {pair} at shift {shift} "
+                            f"(sets {sorted(instance.sets[i])} / "
+                            f"{sorted(instance.sets[j])})"
+                        )
+                    missed += 1
+                else:
+                    samples.append(ttr)
+            if samples:
+                worst, stats = max(samples), summarize_ttrs(samples)
             else:
-                samples.append(ttr)
-        if samples:
-            worst, stats = max(samples), summarize_ttrs(samples)
-        else:
-            # Every shift lost the guarantee: sentinel aggregates, the
-            # miss count carries the whole story.
-            worst, stats = -1, TTRStats(0, 0.0, 0.0, 0.0, -1, -1)
-        measured = MeasuredPair(algorithm, pair, worst, stats, missed)
-        if checkpoint is not None:
-            checkpoint.clear()
-        if self.results is not None:
-            self.results.put(query, _measured_record(measured))
-        return measured
+                # Every shift lost the guarantee: sentinel aggregates, the
+                # miss count carries the whole story.
+                worst, stats = -1, TTRStats(0, 0.0, 0.0, 0.0, -1, -1)
+            measured = MeasuredPair(algorithm, pair, worst, stats, missed)
+            if checkpoint is not None:
+                checkpoint.clear()
+            if self.results is not None:
+                self.results.put(query, _measured_record(measured))
+            return measured
 
     def pair_query_for(
         self,
@@ -501,20 +507,35 @@ class SweepRunner:
                     instance, algorithm, pair, horizon, dense, probes, seed,
                     store_handle, self.engine, self.tile_bytes, stream_lanes,
                     results_handle, checkpoint_handle, self.environment,
+                    telemetry.enabled(),
                 )
                 for pair in pairs
             ]
             chunk = max(1, len(payloads) // (self.workers * 4))
-            with ProcessPoolExecutor(max_workers=self.workers) as pool:
-                return list(pool.map(_measure_pair_task, payloads, chunksize=chunk))
-        return [
-            self.measure_pair(
-                instance, algorithm, pair, horizon,
-                dense=dense, probes=probes, seed=seed,
-                stream_workers=stream_lanes,
-            )
-            for pair in pairs
-        ]
+            with telemetry.span("runner.pool_fanout"):
+                telemetry.count("runner.pool_pairs", len(pairs))
+                telemetry.gauge("runner.pool_processes", pool_workers)
+                with ProcessPoolExecutor(max_workers=self.workers) as pool:
+                    outcomes = list(
+                        pool.map(_measure_pair_task, payloads, chunksize=chunk)
+                    )
+            # Worker processes time their tasks on their own registries
+            # and ship snapshots back alongside the results; folding
+            # them in here makes one parent snapshot cover the whole
+            # fanned-out sweep.
+            for _, snap in outcomes:
+                telemetry.merge(snap)
+            return [measured for measured, _ in outcomes]
+        with telemetry.span("runner.serial"):
+            telemetry.count("runner.serial_pairs", len(pairs))
+            return [
+                self.measure_pair(
+                    instance, algorithm, pair, horizon,
+                    dense=dense, probes=probes, seed=seed,
+                    stream_workers=stream_lanes,
+                )
+                for pair in pairs
+            ]
 
 
 def _measured_record(measured: MeasuredPair) -> dict:
@@ -564,12 +585,20 @@ def _measured_from_record(
 _WORKER_RUNNERS: dict[tuple, SweepRunner] = {}
 
 
-def _measure_pair_task(payload: tuple) -> MeasuredPair:
-    """Measure one pair inside a pool worker (its runner is reused)."""
+def _measure_pair_task(payload: tuple) -> tuple[MeasuredPair, dict | None]:
+    """Measure one pair inside a pool worker (its runner is reused).
+
+    Returns ``(measured, telemetry_snapshot)``: when the parent fanned
+    out with telemetry enabled, the worker enables its own registry,
+    times the task under ``runner.worker_task``, and ships the snapshot
+    back for the parent to :func:`repro.core.telemetry.merge` —
+    resetting after each task so successive tasks on the same worker
+    never double-count.  Telemetry-off fan-outs ship ``None``.
+    """
     (
         instance, algorithm, pair, horizon, dense, probes, seed,
         store_handle, engine, tile_bytes, stream_lanes,
-        results_handle, checkpoint_handle, environment,
+        results_handle, checkpoint_handle, environment, telemetry_on,
     ) = payload
     runner_key = (
         store_handle, engine, tile_bytes, stream_lanes,
@@ -593,9 +622,20 @@ def _measure_pair_task(payload: tuple) -> MeasuredPair:
             checkpoint_dir=checkpoint_handle, environment=environment,
         )
         _WORKER_RUNNERS[runner_key] = runner
-    return runner.measure_pair(
-        instance, algorithm, pair, horizon, dense=dense, probes=probes, seed=seed
-    )
+    if not telemetry_on:
+        measured = runner.measure_pair(
+            instance, algorithm, pair, horizon,
+            dense=dense, probes=probes, seed=seed,
+        )
+        return measured, None
+    telemetry.enable()
+    telemetry.reset()
+    with telemetry.span("runner.worker_task"):
+        measured = runner.measure_pair(
+            instance, algorithm, pair, horizon,
+            dense=dense, probes=probes, seed=seed,
+        )
+    return measured, telemetry.snapshot()
 
 
 def measure_pairwise(

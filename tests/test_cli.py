@@ -644,3 +644,96 @@ class TestNetsimEnvironmentFlags:
         assert payload["parity"]["identical"] is True
         assert isinstance(payload["environment"], str)
         assert len(payload["environment"]) == 32
+
+
+class TestTelemetryFlag:
+    SWEEP = [
+        "sweep", "--agents", "1,5,9/5,20/1,20,31", "--universe", "32",
+        "--algorithm", "jump-stay", "--dense", "4", "--probes", "4",
+        "--engine", "stream", "--stream-workers", "1",
+    ]
+
+    def test_sweep_telemetry_json_is_last_line(self, capsys):
+        import json
+
+        from repro.core import telemetry
+
+        code = main(self.SWEEP + ["--telemetry", "json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "overlapping pairs swept" in out  # normal output intact
+        payload = json.loads(out.strip().splitlines()[-1])
+        snap = payload["telemetry"]
+        assert payload["wall_seconds"] > 0
+        # Root spans fit inside the measured wall time (shared clock).
+        assert 0 < snap["total_seconds"] <= payload["wall_seconds"] * 1.25
+        assert "runner.serial" in snap["spans"] or (
+            "runner.pool_fanout" in snap["spans"]
+        )
+        # The flag is scoped to the one invocation: off afterwards.
+        assert not telemetry.enabled()
+        assert telemetry.snapshot()["spans"] == {}
+
+    def test_sweep_telemetry_text_tree(self, capsys):
+        code = main(self.SWEEP + ["--telemetry", "text"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "telemetry:" in out
+        assert "s wall)" in out
+        assert "stream.tile_assembly" in out
+        assert "counters:" in out
+
+    def test_sweep_without_flag_emits_no_tree(self, capsys):
+        code = main(self.SWEEP)
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "telemetry:" not in out
+
+    def test_serve_json_reports_latency_and_store_counters(
+        self, capsys, tmp_path
+    ):
+        import json
+
+        args = [
+            "serve", "--a", "1,5,9", "--b", "5,12", "--universe", "16",
+            "--algorithm", "zos", "--horizon", "100000",
+            "--results-dir", str(tmp_path / "results"),
+        ]
+        assert main(args + ["--json"]) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert cold["source"] == "computed"
+        assert cold["latency_seconds"] > 0
+        assert main(args + ["--json", "--telemetry", "json"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        warm = json.loads(lines[0])
+        tree = json.loads(lines[-1])
+        assert warm["source"] == "cache hit"
+        assert warm["latency_seconds"] > 0
+        counters = tree["telemetry"]["counters"]
+        assert counters["store.result.hits"] == 1
+
+    def test_serve_text_reports_latency(self, capsys, tmp_path):
+        args = [
+            "serve", "--a", "1,5,9", "--b", "5,12", "--universe", "16",
+            "--algorithm", "zos", "--horizon", "100000",
+            "--results-dir", str(tmp_path / "results"),
+        ]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "source: computed" in out
+        assert "latency: " in out and " ms" in out
+
+    def test_netsim_accepts_telemetry(self, capsys):
+        import json
+
+        code = main(
+            ["netsim", "--workload", "random_subsets", "--universe", "16",
+             "--k", "3", "--agents", "40", "--algorithm", "jump-stay",
+             "--horizon", "20000", "--json", "--telemetry", "json"]
+        )
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert code == 0
+        tree = json.loads(lines[-1])
+        counters = tree["telemetry"]["counters"]
+        assert counters["netsim.chunks"] >= 1
+        assert "netsim.assemble" in tree["telemetry"]["spans"]

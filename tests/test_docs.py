@@ -112,6 +112,38 @@ class TestDocsExist:
         ):
             assert required in text, f"docs/TUNING.md is missing {required!r}"
 
+    def test_observability_doc_present(self):
+        text = (REPO_ROOT / "docs" / "OBSERVABILITY.md").read_text()
+        for required in (
+            "Span taxonomy",
+            "stream.tile_assembly",
+            "runner.worker_task",
+            "store.schedule",
+            "store.result",
+            "netsim.assemble",
+            "Zero overhead when disabled",
+            "bit-identical",
+            "PYTHONHASHSEED",
+            "final stdout line",
+            "Thread lanes overlap",
+            "Netsim spans are flat",
+            "test_telemetry_overhead",
+            "TUNING.md",
+        ):
+            assert required in text, f"docs/OBSERVABILITY.md is missing {required!r}"
+
+    def test_tuning_doc_links_observability(self):
+        text = (REPO_ROOT / "docs" / "TUNING.md").read_text()
+        assert "OBSERVABILITY.md" in text, (
+            "docs/TUNING.md does not link OBSERVABILITY.md"
+        )
+
+    def test_architecture_doc_links_observability(self):
+        text = (REPO_ROOT / "docs" / "ARCHITECTURE.md").read_text()
+        assert "OBSERVABILITY.md" in text, (
+            "docs/ARCHITECTURE.md does not link OBSERVABILITY.md"
+        )
+
     def test_benchmarks_doc_links_tuning(self):
         text = (REPO_ROOT / "docs" / "BENCHMARKS.md").read_text()
         assert "TUNING.md" in text, "docs/BENCHMARKS.md does not link TUNING.md"
@@ -123,6 +155,7 @@ class TestDocsExist:
             "docs/API.md",
             "docs/BENCHMARKS.md",
             "docs/TUNING.md",
+            "docs/OBSERVABILITY.md",
         ):
             assert page in readme, f"README.md does not link {page}"
 

@@ -30,6 +30,7 @@ DEFAULT_TARGETS = (
     "src/repro/core",
     "src/repro/core/environment.py",
     "src/repro/core/results.py",
+    "src/repro/core/telemetry.py",
     "src/repro/sim",
     "src/repro/sim/netcore.py",
     "src/repro/baselines",
