@@ -1,0 +1,151 @@
+"""Pair-major stacking: the whole Table-1 cell grid in one tile pass.
+
+The per-pair streaming loop pays its fixed costs — engine dispatch,
+tile-plan sizing, fixed-row cache construction, a short final partial
+tile — once per (algorithm, n, seed) cell.  Pair-major stacking
+(:func:`repro.core.stream.ttr_sweep_pairs`) assembles every cell's
+shift rows into one global row set and scans them in shared tiles, so
+those costs amortize across the grid.  This bench measures the full
+asymmetric Table-1 grid both ways, asserts the profiles are
+bit-identical, and gates the stacked pass on a measured speedup over
+the per-pair loop.
+
+Writes ``benchmarks/results/BENCH_pair_major.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analysis import format_table
+from repro.core.batch import ttr_sweep
+from repro.core.stream import ttr_sweep_pairs, ttr_sweep_stream_serial
+from repro.core.verification import strided_shift_range
+from repro.sim.workloads import single_overlap
+
+ALGORITHMS = ("paper", "crseq", "drds", "zos", "jump-stay")
+NS = (16, 32, 64)
+SEEDS = (0, 1)
+K = L = 3
+MAX_SHIFTS = 256
+REPS = 3
+
+#: The stacked pass must beat the per-pair streaming loop by at least
+#: this factor on the Table-1 grid, or the refactor has regressed.
+MIN_PAIR_MAJOR_SPEEDUP = 1.5
+
+
+@pytest.fixture(scope="module")
+def grid():
+    """One sweep job per Table-1 cell: (algorithm, n, seed)."""
+    cells, jobs, horizons = [], [], []
+    for algorithm in ALGORITHMS:
+        for n in NS:
+            for seed in SEEDS:
+                instance = single_overlap(n, K, L, seed=seed)
+                a = repro.build_schedule(
+                    instance.sets[0], n, algorithm=algorithm
+                )
+                b = repro.build_schedule(
+                    instance.sets[1], n, algorithm=algorithm
+                )
+                shifts = list(strided_shift_range(a, b, MAX_SHIFTS))
+                cells.append((algorithm, n, seed))
+                jobs.append((a, b, shifts))
+                horizons.append(4 * max(a.period, b.period))
+    return cells, jobs, horizons
+
+
+def _best_of(fn, reps: int = REPS) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_pair_major_beats_per_pair_loop(benchmark, grid, record):
+    cells, jobs, horizons = grid
+
+    def per_pair_loop():
+        return [
+            ttr_sweep_stream_serial(a, b, shifts, horizon)
+            for (a, b, shifts), horizon in zip(jobs, horizons)
+        ]
+
+    def stacked():
+        return ttr_sweep_pairs(jobs, horizons)
+
+    # Parity first: one pass over the grid must be bit-identical to the
+    # per-pair loop, and to the auto-dispatched engine, cell by cell.
+    loop_profiles = per_pair_loop()
+    stacked_profiles = stacked()
+    assert stacked_profiles == loop_profiles
+    for (a, b, shifts), horizon, profile in zip(
+        jobs, horizons, stacked_profiles
+    ):
+        assert ttr_sweep(a, b, shifts, horizon) == profile
+
+    loop_s = _best_of(per_pair_loop)
+    stacked_s = _best_of(stacked)
+    auto_s = _best_of(
+        lambda: [
+            ttr_sweep(a, b, shifts, horizon)
+            for (a, b, shifts), horizon in zip(jobs, horizons)
+        ]
+    )
+    benchmark.pedantic(stacked, rounds=1, iterations=1)
+
+    speedup = loop_s / stacked_s
+    total_shifts = sum(len(shifts) for _, _, shifts in jobs)
+    rows = [
+        ["per-pair stream loop", f"{loop_s * 1000:.1f}", "1.0x"],
+        ["per-pair auto loop", f"{auto_s * 1000:.1f}",
+         f"{loop_s / auto_s:.2f}x"],
+        ["pair-major stacked", f"{stacked_s * 1000:.1f}",
+         f"{speedup:.2f}x"],
+    ]
+    record(
+        "pair_major_speedup",
+        f"pair-major stacking vs per-pair loops: full Table-1 grid "
+        f"({len(cells)} cells, {total_shifts} shift rows) in one pass\n"
+        + format_table(["path", "best of 3 (ms)", "vs stream loop"], rows)
+        + "\nprofiles bit-identical across all three paths",
+    )
+
+    payload = {
+        "grid": {
+            "algorithms": list(ALGORITHMS),
+            "ns": list(NS),
+            "seeds": list(SEEDS),
+            "workload": f"single_overlap(k=l={K})",
+            "cells": len(cells),
+            "shift_rows": total_shifts,
+            "shift_classes": f"two-sided strided, <= {MAX_SHIFTS} per cell",
+            "horizon": "4 x max period per cell",
+        },
+        "seconds_best_of": REPS,
+        "per_pair_stream_loop_s": loop_s,
+        "per_pair_auto_loop_s": auto_s,
+        "pair_major_stacked_s": stacked_s,
+        "speedup_vs_stream_loop": round(speedup, 3),
+        "speedup_vs_auto_loop": round(auto_s / stacked_s, 3),
+        "min_required_speedup": MIN_PAIR_MAJOR_SPEEDUP,
+        "parity": "bit-identical across stacked, stream loop, auto loop",
+    }
+    results_dir = Path(__file__).parent / "results"
+    results_dir.mkdir(exist_ok=True)
+    (results_dir / "BENCH_pair_major.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+
+    assert speedup >= MIN_PAIR_MAJOR_SPEEDUP, (
+        f"pair-major stacking must amortize the per-pair fixed costs: "
+        f"{speedup:.2f}x < {MIN_PAIR_MAJOR_SPEEDUP}x"
+    )

@@ -399,6 +399,25 @@ def build_parser() -> argparse.ArgumentParser:
         "saturates the cores",
     )
     sweep.add_argument(
+        "--backend",
+        default="auto",
+        metavar="SPEC",
+        help="array backend executing the streaming tile ops: 'auto' "
+        "(default; honours REPRO_BACKEND), 'numpy', a registered name, "
+        "or a 'module.path:attr' entry point; every conforming backend "
+        "is bit-identical",
+    )
+    sweep.add_argument(
+        "--pair-major",
+        choices=("auto", "on", "off"),
+        default="auto",
+        help="pair-major stacking: batch every uncached pair of a "
+        "serial sweep into one streaming tile pass ('auto' stacks "
+        "whenever the streaming engine is reachable and no checkpoint "
+        "directory is set; 'on' requires that configuration; 'off' "
+        "keeps the per-pair loop); results are bit-identical",
+    )
+    sweep.add_argument(
         "--environment",
         type=_parse_environment_arg,
         default=None,
@@ -782,6 +801,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.checkpoint_dir is not None and args.engine == "batched":
         print("sweep failed: --checkpoint-dir needs the streaming engine")
         return 2
+    if args.pair_major == "on" and args.checkpoint_dir is not None:
+        print("sweep failed: --pair-major on does not support --checkpoint-dir")
+        return 2
+    if args.pair_major == "on" and args.engine == "batched":
+        print("sweep failed: --pair-major on needs the streaming engine")
+        return 2
     store = None
     if args.store_dir is not None:
         store_kwargs = {"read_roots": args.read_roots or ()}
@@ -793,16 +818,23 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         # run's partial progress: discard whatever snapshots remain.
         for stale in Path(args.checkpoint_dir).glob("*.ckpt.json"):
             stale.unlink()
-    runner = SweepRunner(
-        workers=args.workers or None,
-        store=store,
-        engine=args.engine,
-        tile_bytes=args.tile_bytes,
-        stream_workers=args.stream_workers or None,
-        results=args.results_dir,
-        checkpoint_dir=args.checkpoint_dir,
-        environment=args.environment,
-    )
+    pair_major = {"auto": "auto", "on": True, "off": False}[args.pair_major]
+    try:
+        runner = SweepRunner(
+            workers=args.workers or None,
+            store=store,
+            engine=args.engine,
+            tile_bytes=args.tile_bytes,
+            stream_workers=args.stream_workers or None,
+            results=args.results_dir,
+            checkpoint_dir=args.checkpoint_dir,
+            environment=args.environment,
+            backend=args.backend,
+            pair_major=pair_major,
+        )
+    except ValueError as exc:
+        print(f"sweep failed: {exc}")
+        return 2
     try:
         instance = Instance(
             args.universe, [frozenset(s) for s in args.agents], "cli"
@@ -840,6 +872,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"stream workers: {args.stream_workers} per pair")
     if args.tile_bytes is not None:
         print(f"tile bytes: {args.tile_bytes}")
+    if args.backend != "auto":
+        print(f"backend:   {args.backend}")
+    if args.pair_major != "auto":
+        print(f"pair-major: {args.pair_major}")
     header = ["pair", "worst TTR", "mean", "p95", "shifts"]
     if faulted:
         header.append("missed")

@@ -1,0 +1,524 @@
+"""Array-namespace seam between the streaming scan and its array library.
+
+The streaming engine's hot path (:mod:`repro.core.stream`) is a handful
+of dense tile operations — gather host rows into a ``(shifts, time)``
+tile, compare against the fixed side, AND in an environment mask,
+reduce each row to its first coincidence, retire hit rows.  Every one
+of those is embarrassingly data-parallel, so nothing about the scan
+logic is numpy-specific.  This module pins down the *seam*: the scan
+calls exactly the small vocabulary below through an
+:class:`ArrayBackend` object, never ``np.*`` directly, so an alternate
+array library (GPU, SIMD, or an instrumented fake) can execute the
+identical tiles without touching first-meet semantics.
+
+The contract, in brief:
+
+* **Host vs device.**  Tile *assembly* stays on the host: schedules'
+  ``channel_block`` / ``channel_gather`` closed forms, store memmaps,
+  and environment masks all produce host numpy arrays.
+  :meth:`ArrayBackend.from_host` is the single transfer point into the
+  backend's array space ("device"), :meth:`ArrayBackend.to_host` the
+  single point back.  Device arrays are opaque to the scan — it never
+  indexes, compares, or iterates one except through backend methods
+  (indices handed to :meth:`ArrayBackend.take` are host arrays).
+* **Bit-identical semantics.**  ``equal`` broadcasts like numpy;
+  ``argmax`` returns the *first* index of the maximum — the scan's
+  first-meet retirement depends on that tie rule, and
+  :func:`conformance_checklist` rejects backends that break it.
+* **Selection.**  :func:`resolve_backend` turns the user-facing
+  ``backend="auto"|"numpy"|"<name>"|"module:attr"`` spec (threaded
+  through :func:`repro.core.batch.ttr_sweep`,
+  :class:`repro.sim.runner.SweepRunner`, and ``repro sweep
+  --backend``) into an instance; ``"auto"`` honours the
+  ``REPRO_BACKEND`` environment variable and otherwise picks numpy.
+
+Two backends ship in-tree: :class:`NumpyBackend` (the default;
+``from_host``/``to_host`` are identity, so the seam adds only a method
+call per *tile*, not per cell) and :class:`RecordingBackend` — the
+conformance instrument.  It computes with numpy but wraps every device
+array in an opaque box that raises on any ``np.*``-style use, so
+running a full scan through it *proves* the scan never bypasses the
+seam; it also records every op for inspection.  Third-party backends
+certify themselves with :func:`check_conformance`, which replays the
+checklist plus an end-to-end parity scan against numpy.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+from collections.abc import Callable
+
+import numpy as np
+
+__all__ = [
+    "ArrayBackend",
+    "NumpyBackend",
+    "RecordingBackend",
+    "register_backend",
+    "resolve_backend",
+    "conformance_checklist",
+    "check_conformance",
+    "BACKEND_ENV_VAR",
+]
+
+#: Environment variable consulted by ``backend="auto"`` — set it to any
+#: spec :func:`resolve_backend` accepts to switch the default backend
+#: process-wide (e.g. in CI conformance runs).
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+
+class ArrayBackend:
+    """The ~10-op array vocabulary the streaming tile scan consumes.
+
+    Subclass and override every op to plug in an alternate array
+    library; ``name`` identifies the backend in telemetry, worker
+    payloads, and error messages.  Ops must match numpy semantics
+    bit-for-bit on int64/bool inputs — :func:`conformance_checklist`
+    spells the contract out as executable checks.  The base class
+    raises on every op so a partial implementation fails loudly.
+    """
+
+    #: Identifier used in dispatch, worker payloads, and diagnostics.
+    name = "abstract"
+
+    def _unimplemented(self, op: str):
+        raise NotImplementedError(
+            f"backend {self.name!r} does not implement {op!r}"
+        )
+
+    def from_host(self, array: np.ndarray):
+        """Move a host numpy array into this backend's array space."""
+        self._unimplemented("from_host")
+
+    def to_host(self, array) -> np.ndarray:
+        """Move a device array back to a host numpy array."""
+        self._unimplemented("to_host")
+
+    def asarray(self, values, dtype=None):
+        """Build a device array from host values (lists or arrays)."""
+        self._unimplemented("asarray")
+
+    def full(self, shape, fill_value, dtype=None):
+        """A device array of ``shape`` filled with ``fill_value``."""
+        self._unimplemented("full")
+
+    def arange(self, start: int, stop: int):
+        """Device ``[start, stop)`` int64 range."""
+        self._unimplemented("arange")
+
+    def take(self, array, indices: np.ndarray, axis: int = 0):
+        """Select rows/elements of a device array by *host* indices."""
+        self._unimplemented("take")
+
+    def equal(self, a, b):
+        """Elementwise ``a == b`` with numpy broadcasting rules."""
+        self._unimplemented("equal")
+
+    def logical_and(self, a, b):
+        """Elementwise boolean AND with numpy broadcasting rules."""
+        self._unimplemented("logical_and")
+
+    def any(self, array, axis: int):
+        """Reduce ``array`` with logical OR along ``axis``."""
+        self._unimplemented("any")
+
+    def argmax(self, array, axis: int):
+        """Index of the maximum along ``axis`` — the **first** on ties.
+
+        The scan's first-meet retirement is ``argmax`` over boolean
+        rows, so a backend returning any later tied index corrupts
+        every TTR; the conformance checklist tests this explicitly.
+        """
+        self._unimplemented("argmax")
+
+
+class NumpyBackend(ArrayBackend):
+    """The default backend: host numpy *is* the device.
+
+    Transfers are identity, every op delegates straight to numpy, and
+    results are the exact arrays the pre-seam scan produced — the
+    differential harness certifies bit-identical profiles.
+    """
+
+    name = "numpy"
+
+    def from_host(self, array: np.ndarray):
+        """Identity — the host array already lives on the "device"."""
+        return array
+
+    def to_host(self, array) -> np.ndarray:
+        """Identity — device arrays are host numpy arrays."""
+        return array
+
+    def asarray(self, values, dtype=None):
+        """Delegate to :func:`numpy.asarray`."""
+        return np.asarray(values, dtype=dtype)
+
+    def full(self, shape, fill_value, dtype=None):
+        """Delegate to :func:`numpy.full`."""
+        return np.full(shape, fill_value, dtype=dtype)
+
+    def arange(self, start: int, stop: int):
+        """Delegate to :func:`numpy.arange` with int64 dtype."""
+        return np.arange(start, stop, dtype=np.int64)
+
+    def take(self, array, indices: np.ndarray, axis: int = 0):
+        """Delegate to :func:`numpy.take`."""
+        return np.take(array, indices, axis=axis)
+
+    def equal(self, a, b):
+        """Delegate to ``==`` (broadcasting elementwise compare)."""
+        return a == b
+
+    def logical_and(self, a, b):
+        """Delegate to ``&`` (broadcasting boolean AND)."""
+        return a & b
+
+    def any(self, array, axis: int):
+        """Delegate to :func:`numpy.any`."""
+        return np.any(array, axis=axis)
+
+    def argmax(self, array, axis: int):
+        """Delegate to :func:`numpy.argmax` (first-of-ties by contract)."""
+        return np.argmax(array, axis=axis)
+
+
+class _Boxed:
+    """Opaque wrapper for :class:`RecordingBackend` device arrays.
+
+    Raises on every numpy-interop surface — conversion, operators,
+    indexing, iteration, truthiness — so any scan code that slips a
+    device array into a raw ``np.*`` expression fails immediately
+    instead of silently computing outside the seam.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: np.ndarray):
+        self.value = value
+
+    def _refuse(self, surface: str):
+        raise TypeError(
+            f"raw numpy use of a backend device array (via {surface}); "
+            "the streaming scan must route every array op through the "
+            "ArrayBackend seam"
+        )
+
+    def __array__(self, *args, **kwargs):
+        self._refuse("__array__")
+
+    def __eq__(self, other):
+        self._refuse("==")
+
+    def __ne__(self, other):
+        self._refuse("!=")
+
+    def __and__(self, other):
+        self._refuse("&")
+
+    def __rand__(self, other):
+        self._refuse("&")
+
+    def __or__(self, other):
+        self._refuse("|")
+
+    def __invert__(self):
+        self._refuse("~")
+
+    def __add__(self, other):
+        self._refuse("+")
+
+    def __radd__(self, other):
+        self._refuse("+")
+
+    def __getitem__(self, item):
+        self._refuse("indexing")
+
+    def __len__(self):
+        self._refuse("len()")
+
+    def __bool__(self):
+        self._refuse("bool()")
+
+    def __iter__(self):
+        self._refuse("iteration")
+
+    __hash__ = None
+
+
+class RecordingBackend(ArrayBackend):
+    """Instrumented fake backend for seam-conformance certification.
+
+    Computes every op with numpy — it perturbs nothing, so profiles
+    stay bit-identical — but boxes every device array in :class:`_Boxed`
+    and appends each op's name to :attr:`ops`.  Running a full stream
+    scan through it therefore proves two things at once: the scan's
+    results do not depend on numpy-specific behaviour outside the seam,
+    and the scan never touches a device array except through backend
+    methods (a bypass raises ``TypeError`` from the box).
+    """
+
+    name = "recording"
+
+    def __init__(self):
+        #: Op names in call order (``"from_host"``, ``"equal"``, ...).
+        self.ops: list[str] = []
+
+    def _box(self, op: str, value: np.ndarray) -> _Boxed:
+        self.ops.append(op)
+        return _Boxed(value)
+
+    def _unbox(self, op: str, array) -> np.ndarray:
+        if not isinstance(array, _Boxed):
+            raise TypeError(
+                f"{op} expected a device array from this backend, got "
+                f"{type(array).__name__}; host arrays must enter through "
+                "from_host"
+            )
+        return array.value
+
+    def from_host(self, array: np.ndarray):
+        """Box a host array; the box blocks all raw-numpy access."""
+        if isinstance(array, _Boxed):
+            raise TypeError("from_host expected a host array, got a device array")
+        return self._box("from_host", np.asarray(array))
+
+    def to_host(self, array) -> np.ndarray:
+        """Unbox back to host numpy."""
+        value = self._unbox("to_host", array)
+        self.ops.append("to_host")
+        return value
+
+    def asarray(self, values, dtype=None):
+        """Numpy ``asarray``, boxed."""
+        return self._box("asarray", np.asarray(values, dtype=dtype))
+
+    def full(self, shape, fill_value, dtype=None):
+        """Numpy ``full``, boxed."""
+        return self._box("full", np.full(shape, fill_value, dtype=dtype))
+
+    def arange(self, start: int, stop: int):
+        """Numpy int64 ``arange``, boxed."""
+        return self._box("arange", np.arange(start, stop, dtype=np.int64))
+
+    def take(self, array, indices: np.ndarray, axis: int = 0):
+        """Numpy ``take`` on the unboxed payload; host indices."""
+        return self._box(
+            "take", np.take(self._unbox("take", array), indices, axis=axis)
+        )
+
+    def equal(self, a, b):
+        """Numpy ``==`` on the unboxed payloads."""
+        return self._box(
+            "equal", self._unbox("equal", a) == self._unbox("equal", b)
+        )
+
+    def logical_and(self, a, b):
+        """Numpy ``&`` on the unboxed payloads."""
+        return self._box(
+            "logical_and",
+            self._unbox("logical_and", a) & self._unbox("logical_and", b),
+        )
+
+    def any(self, array, axis: int):
+        """Numpy ``any`` on the unboxed payload."""
+        return self._box("any", np.any(self._unbox("any", array), axis=axis))
+
+    def argmax(self, array, axis: int):
+        """Numpy ``argmax`` (first-of-ties) on the unboxed payload."""
+        return self._box(
+            "argmax", np.argmax(self._unbox("argmax", array), axis=axis)
+        )
+
+
+_BACKENDS: dict[str, Callable[[], ArrayBackend]] = {
+    "numpy": NumpyBackend,
+    "recording": RecordingBackend,
+}
+
+
+def register_backend(name: str, factory: Callable[[], ArrayBackend]) -> None:
+    """Register a backend factory under ``name`` for spec resolution.
+
+    Third-party array libraries call this once at import time; the
+    name then works everywhere a backend spec is accepted
+    (``ttr_sweep(backend=name)``, ``repro sweep --backend name``, the
+    ``REPRO_BACKEND`` environment variable).  Re-registering a name
+    replaces the factory.
+    """
+    if not name or not isinstance(name, str):
+        raise ValueError(f"backend name must be a non-empty string, got {name!r}")
+    _BACKENDS[name] = factory
+
+
+def resolve_backend(spec: ArrayBackend | str | None) -> ArrayBackend:
+    """Resolve a user-facing backend spec to an :class:`ArrayBackend`.
+
+    Accepted specs, in order of checking:
+
+    * an :class:`ArrayBackend` instance — passed through unchanged;
+    * ``None`` or ``"auto"`` — the ``REPRO_BACKEND`` environment
+      variable when set (resolved recursively), else numpy;
+    * a registered name (``"numpy"``, ``"recording"``, or anything
+      handed to :func:`register_backend`);
+    * an entry-point string ``"module.path:attr"`` — the attribute is
+      imported and called if callable (a factory) or used as the
+      instance otherwise.
+
+    Anything else raises ``ValueError`` listing the registered names.
+    """
+    if isinstance(spec, ArrayBackend):
+        return spec
+    if spec is None or spec == "auto":
+        env = os.environ.get(BACKEND_ENV_VAR)
+        if env and env != "auto":
+            return resolve_backend(env)
+        spec = "numpy"
+    if not isinstance(spec, str):
+        raise ValueError(
+            f"backend spec must be a string or ArrayBackend, got {spec!r}"
+        )
+    factory = _BACKENDS.get(spec)
+    if factory is not None:
+        return factory()
+    if ":" in spec:
+        module_name, _, attr = spec.partition(":")
+        module = importlib.import_module(module_name)
+        target = getattr(module, attr)
+        backend = target() if callable(target) else target
+        if not isinstance(backend, ArrayBackend):
+            raise ValueError(
+                f"entry point {spec!r} resolved to {type(backend).__name__}, "
+                "not an ArrayBackend"
+            )
+        return backend
+    raise ValueError(
+        f"unknown backend {spec!r}; registered: {sorted(_BACKENDS)} "
+        "(or use 'module.path:attr')"
+    )
+
+
+def conformance_checklist(
+    backend: ArrayBackend,
+) -> list[tuple[str, bool, str]]:
+    """Run the third-party backend conformance checklist.
+
+    Returns ``(check, passed, detail)`` triples, in order.  The checks
+    are the executable form of the seam contract: transfer round-trips,
+    dtype preservation, broadcasting compare/AND, OR-reduction,
+    **first**-of-ties ``argmax`` (the first-meet rule), host-index
+    ``take``, and finally an end-to-end streaming sweep whose profile
+    must be bit-identical to the numpy backend's.  A backend passing
+    every row is safe to hand to ``ttr_sweep(backend=...)``.
+    """
+    checks: list[tuple[str, bool, str]] = []
+
+    def record(check: str, fn: Callable[[], str | None]) -> None:
+        try:
+            detail = fn() or "ok"
+            checks.append((check, True, detail))
+        except Exception as exc:  # noqa: BLE001 - the checklist reports, never raises
+            checks.append((check, False, f"{type(exc).__name__}: {exc}"))
+
+    def round_trip():
+        host = np.array([3, 1, 4, 1, 5], dtype=np.int64)
+        back = backend.to_host(backend.from_host(host))
+        assert np.array_equal(back, host), back
+        assert back.dtype == np.int64, back.dtype
+        return "int64 survives from_host/to_host"
+
+    def constructors():
+        filled = backend.to_host(backend.full((2, 3), 7, dtype=np.int64))
+        assert filled.shape == (2, 3) and (filled == 7).all(), filled
+        span = backend.to_host(backend.arange(5, 9))
+        assert np.array_equal(span, np.arange(5, 9)), span
+        built = backend.to_host(backend.asarray([1, 0, 1], dtype=bool))
+        assert built.dtype == bool, built.dtype
+        return "full/arange/asarray produce the requested contents"
+
+    def broadcast_compare():
+        rows = backend.from_host(np.array([[1, 2, 3], [3, 2, 1]], dtype=np.int64))
+        fixed = backend.from_host(np.array([[3, 2, 3]], dtype=np.int64))
+        eq = backend.to_host(backend.equal(rows, fixed))
+        assert np.array_equal(
+            eq, np.array([[False, True, True], [True, True, False]])
+        ), eq
+        return "equal broadcasts a (1, w) row across (n, w) tiles"
+
+    def masked_and():
+        eq = backend.from_host(np.array([[True, True], [True, False]]))
+        mask = backend.from_host(np.array([[False, True], [True, True]]))
+        out = backend.to_host(backend.logical_and(eq, mask))
+        assert np.array_equal(out, np.array([[False, True], [True, False]])), out
+        return "logical_and applies the validity mask elementwise"
+
+    def any_reduce():
+        tile = backend.from_host(
+            np.array([[False, False], [False, True]], dtype=bool)
+        )
+        hit = backend.to_host(backend.any(tile, axis=1))
+        assert np.array_equal(hit, np.array([False, True])), hit
+        return "any reduces rows with logical OR"
+
+    def argmax_first_tie():
+        tile = backend.from_host(
+            np.array([[False, True, True], [True, False, True]], dtype=bool)
+        )
+        first = backend.to_host(backend.argmax(tile, axis=1))
+        assert np.array_equal(first, np.array([1, 0])), (
+            f"argmax must return the FIRST maximum per row, got {first}"
+        )
+        return "argmax breaks ties toward the first index (first-meet rule)"
+
+    def host_index_take():
+        tile = backend.from_host(
+            np.array([[0, 1], [2, 3], [4, 5]], dtype=np.int64)
+        )
+        picked = backend.to_host(
+            backend.take(tile, np.array([2, 0], dtype=np.int64), axis=0)
+        )
+        assert np.array_equal(picked, np.array([[4, 5], [0, 1]])), picked
+        return "take selects rows by host indices"
+
+    def end_to_end_sweep():
+        # Imported lazily: stream imports this module for its default
+        # backend, so a top-level import here would be circular.
+        from repro.core.schedule import CyclicSchedule
+        from repro.core.stream import ttr_sweep_stream
+
+        a = CyclicSchedule([1, 5, 9, 5])
+        b = CyclicSchedule([5, 9, 1])
+        shifts = list(range(-8, 13))
+        expected = ttr_sweep_stream(a, b, shifts, 64, backend=NumpyBackend())
+        got = ttr_sweep_stream(a, b, shifts, 64, backend=backend)
+        assert got == expected, (got, expected)
+        return f"streaming sweep of {len(shifts)} shifts matches numpy bit-for-bit"
+
+    record("transfer round-trip", round_trip)
+    record("constructors", constructors)
+    record("broadcast compare", broadcast_compare)
+    record("masked AND", masked_and)
+    record("any reduction", any_reduce)
+    record("argmax first-of-ties", argmax_first_tie)
+    record("host-index take", host_index_take)
+    record("end-to-end sweep parity", end_to_end_sweep)
+    return checks
+
+
+def check_conformance(backend: ArrayBackend) -> None:
+    """Assert every :func:`conformance_checklist` row passes.
+
+    Raises ``AssertionError`` naming each failed check — the one-call
+    gate a third-party backend runs in its own test suite before
+    claiming seam compatibility.
+    """
+    failures = [
+        f"{check}: {detail}"
+        for check, passed, detail in conformance_checklist(backend)
+        if not passed
+    ]
+    assert not failures, (
+        f"backend {backend.name!r} fails seam conformance:\n  "
+        + "\n  ".join(failures)
+    )

@@ -48,11 +48,14 @@ from numpy.lib.stride_tricks import sliding_window_view
 from repro.core import schedule as _schedule
 from repro.core import stream as _stream
 from repro.core import telemetry
+from repro.core.backend import ArrayBackend, resolve_backend
 from repro.core.environment import Environment, effective_horizon
 from repro.core.schedule import Schedule
 
 __all__ = [
     "ttr_sweep",
+    "ttr_sweep_pairs",
+    "choose_engine",
     "BATCH_TABLE_LIMIT",
     "SCALAR_JOINT_LIMIT",
     "STRIDED_DISPATCH_FACTOR",
@@ -96,6 +99,7 @@ def ttr_sweep(
     stream_workers: int | None = None,
     checkpoint: _stream.SweepCheckpoint | None = None,
     environment: Environment | None = None,
+    backend: ArrayBackend | str | None = "auto",
 ) -> dict[int, int | None]:
     """TTR for every relative shift, in one batched or streamed pass.
 
@@ -141,12 +145,24 @@ def ttr_sweep(
     across all engines.  An aperiodic mask disables the lcm early-stop:
     the scan then covers the caller's full horizon
     (:func:`repro.core.environment.effective_horizon`).
+
+    ``backend`` selects the array library executing the streaming tile
+    ops (:func:`repro.core.backend.resolve_backend` spec).  Like
+    checkpointing it is a streaming-engine feature: a non-numpy backend
+    makes ``"auto"`` dispatch straight to the stream path, and forcing
+    ``"batched"`` or ``"scalar"`` with one raises ``ValueError``.
     """
     if engine not in ENGINES:
         raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
     if checkpoint is not None and engine not in ("auto", "stream"):
         raise ValueError(
             f"checkpointing needs the streaming engine, got engine={engine!r}"
+        )
+    backend = resolve_backend(backend)
+    if backend.name != "numpy" and engine not in ("auto", "stream"):
+        raise ValueError(
+            f"backend {backend.name!r} needs the streaming engine, "
+            f"got engine={engine!r}"
         )
     a = _coerce_schedule(a)
     b = _coerce_schedule(b)
@@ -157,16 +173,10 @@ def ttr_sweep(
         return {s: None for s in shift_list}
     joint = math.lcm(a.period, b.period)
     if engine == "auto":
-        if checkpoint is not None:
-            engine = "stream"
-        elif joint <= SCALAR_JOINT_LIMIT:
-            engine = "scalar"
-        elif a.period > BATCH_TABLE_LIMIT or b.period > BATCH_TABLE_LIMIT:
-            engine = "stream"
-        elif _one_shot_strided(a, b, len(shift_list)):
-            engine = "stream"
-        else:
-            engine = "batched"
+        engine = choose_engine(
+            a, b, len(shift_list),
+            checkpoint=checkpoint is not None, backend=backend,
+        )
     if engine == "scalar":
         # The joint pattern repeats every lcm slots, so capping the
         # scalar scan there preserves every answer (including misses) —
@@ -186,6 +196,7 @@ def ttr_sweep(
             workers=stream_workers,
             checkpoint=checkpoint,
             environment=environment,
+            backend=backend,
         )
     if a.period > BATCH_TABLE_LIMIT or b.period > BATCH_TABLE_LIMIT:
         raise ValueError(
@@ -224,6 +235,103 @@ def ttr_sweep(
     return _stream.scatter_ttrs(shift_list, ttrs, inverse)
 
 
+def choose_engine(
+    a: Schedule | np.ndarray,
+    b: Schedule | np.ndarray,
+    num_shifts: int,
+    checkpoint: bool = False,
+    backend: ArrayBackend | str | None = "auto",
+) -> str:
+    """The engine ``engine="auto"`` resolves to for one sweep shape.
+
+    Pure decision function (no sweeping happens) — the single source of
+    the auto-dispatch policy, exposed so tests can pin each regime and
+    callers can preview a dispatch.  In order:
+
+    * ``checkpoint`` or a non-numpy ``backend`` → ``"stream"`` (both
+      are streaming-engine features);
+    * joint period at most :data:`SCALAR_JOINT_LIMIT` → ``"scalar"``
+      (vectorized setup would dominate);
+    * either period beyond :data:`BATCH_TABLE_LIMIT` → ``"stream"``
+      (the table no longer fits the schedule cache);
+    * one-shot strided shape (:func:`_one_shot_strided`: the shift
+      count times :data:`STRIDED_DISPATCH_FACTOR` undershoots the
+      largest *cold* period — warm tables don't count against the
+      batched path, their reuse is free) → ``"stream"``;
+    * otherwise → ``"batched"``.
+    """
+    a = _coerce_schedule(a)
+    b = _coerce_schedule(b)
+    if checkpoint or resolve_backend(backend).name != "numpy":
+        return "stream"
+    if math.lcm(a.period, b.period) <= SCALAR_JOINT_LIMIT:
+        return "scalar"
+    if a.period > BATCH_TABLE_LIMIT or b.period > BATCH_TABLE_LIMIT:
+        return "stream"
+    if _one_shot_strided(a, b, num_shifts):
+        return "stream"
+    return "batched"
+
+
+def ttr_sweep_pairs(
+    jobs: Iterable[tuple[Schedule | np.ndarray, Schedule | np.ndarray, Iterable[int]]],
+    horizon: int | Iterable[int],
+    max_cells: int = 1 << 21,
+    engine: str = "auto",
+    tile_bytes: int | None = None,
+    stream_workers: int | None = None,
+    environment: Environment | None = None,
+    backend: ArrayBackend | str | None = "auto",
+) -> list[dict[int, int | None]]:
+    """TTR profiles for many schedule pairs, pair-major when possible.
+
+    The multi-pair face of :func:`ttr_sweep`: ``jobs`` is a sequence of
+    ``(a, b, shifts)`` items, ``horizon`` one shared horizon or a
+    per-job sequence, and the result is one shift→TTR mapping per job,
+    bit-identical to calling :func:`ttr_sweep` per job with the same
+    arguments.  ``engine="auto"`` or ``"stream"`` runs the whole batch
+    through one pair-major tile pass
+    (:func:`repro.core.stream.ttr_sweep_pairs` — one chunk loop
+    amortizes dispatch, planning, and fixed-row work across every
+    pair); ``"batched"`` and ``"scalar"`` fall back to a per-job
+    :func:`ttr_sweep` loop, which is also the reference path the
+    differential harness certifies the stacked scan against.
+    """
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+    backend = resolve_backend(backend)
+    if backend.name != "numpy" and engine not in ("auto", "stream"):
+        raise ValueError(
+            f"backend {backend.name!r} needs the streaming engine, "
+            f"got engine={engine!r}"
+        )
+    if engine in ("auto", "stream"):
+        return _stream.ttr_sweep_pairs(
+            jobs,
+            horizon,
+            tile_bytes=tile_bytes,
+            workers=stream_workers,
+            environment=environment,
+            backend=backend,
+        )
+    job_list = list(jobs)
+    if isinstance(horizon, Iterable):
+        horizons = [int(h) for h in horizon]
+        if len(horizons) != len(job_list):
+            raise ValueError(
+                f"got {len(horizons)} horizons for {len(job_list)} jobs"
+            )
+    else:
+        horizons = [int(horizon)] * len(job_list)
+    return [
+        ttr_sweep(
+            a, b, shifts, h, max_cells=max_cells, engine=engine,
+            environment=environment,
+        )
+        for (a, b, shifts), h in zip(job_list, horizons)
+    ]
+
+
 def _coerce_schedule(x: Schedule | np.ndarray) -> Schedule:
     """Shared raw-array adapter (see :func:`repro.core.store.coerce_schedule`)."""
     from repro.core.store import coerce_schedule
@@ -234,16 +342,21 @@ def _coerce_schedule(x: Schedule | np.ndarray) -> Schedule:
 def _one_shot_strided(a: Schedule, b: Schedule, num_shifts: int) -> bool:
     """Whether a storable-period sweep should stream anyway.
 
-    True when at least one period table is cold (building it costs a
-    full pass over the period) *and* the sweep is strided — the shift
-    count times :data:`STRIDED_DISPATCH_FACTOR` undershoots the larger
-    period, so the table rows mostly go unread.  Warm tables
-    (:meth:`~repro.core.schedule.Schedule.has_warm_table`) tip the
-    balance back: their reuse makes the batched setup free.
+    True when the sweep is strided relative to the *cold* tables: the
+    shift count times :data:`STRIDED_DISPATCH_FACTOR` undershoots the
+    largest period whose table still has to be built (building one
+    costs a full pass over the period, and a strided sweep then mostly
+    leaves its rows unread).  Warm tables
+    (:meth:`~repro.core.schedule.Schedule.has_warm_table`) never count
+    against the batched path — their reuse makes its setup free — so a
+    warm huge table next to a cold small one no longer drags the pair
+    to the streaming engine: only the small cold build is weighed.
+    With no cold side at all the batched path always wins.
     """
-    if a.has_warm_table() and b.has_warm_table():
+    cold = [s.period for s in (a, b) if not s.has_warm_table()]
+    if not cold:
         return False
-    return num_shifts * STRIDED_DISPATCH_FACTOR <= max(a.period, b.period)
+    return num_shifts * STRIDED_DISPATCH_FACTOR <= max(cold)
 
 
 def _scalar_sweep(

@@ -58,7 +58,25 @@ Two scans implement those semantics:
 Results are bit-identical across both scans, every worker count, every
 tile plan, and the batched and scalar engines —
 ``tests/core/test_stream.py`` certifies the full parity matrix across
-every workload generator.  Tuning guidance lives in ``docs/TUNING.md``.
+every workload generator, and ``tests/core/test_differential.py`` adds
+a randomized cross-engine safety net.  Tuning guidance lives in
+``docs/TUNING.md``.
+
+Two seams extend the scan beyond one pair on one array library:
+
+* **Array backend** — the tile ops (compare, mask, first-meet
+  reduction, row retirement) run through a
+  :class:`repro.core.backend.ArrayBackend`, never raw ``np.*``: tile
+  *assembly* (schedule closed forms, memmaps, environment masks) stays
+  on the host, ``from_host`` is the single transfer point into the
+  backend's array space, and an alternate library (GPU/SIMD) executes
+  the identical tiles by implementing the ~10-op protocol.
+* **Pair-major stacking** — :func:`ttr_sweep_pairs` flattens *many*
+  schedule pairs' deduped shift rows into one global row set and scans
+  them through shared tiles: one chunk loop amortizes the per-pair
+  dispatch, plan, and fixed-row work across an entire Table-1 cell
+  grid, with each row retiring independently under its own pair's
+  effective horizon.  Profiles are bit-identical to per-pair calls.
 """
 
 from __future__ import annotations
@@ -79,6 +97,7 @@ import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
 from repro.core import telemetry
+from repro.core.backend import ArrayBackend, resolve_backend
 from repro.core.environment import (
     Environment,
     effective_horizon,
@@ -89,6 +108,7 @@ from repro.core.schedule import Schedule
 __all__ = [
     "ttr_sweep_stream",
     "ttr_sweep_stream_serial",
+    "ttr_sweep_pairs",
     "reduce_shifts",
     "scatter_ttrs",
     "TilePlan",
@@ -450,6 +470,7 @@ def ttr_sweep_stream(
     plan: TilePlan | None = None,
     checkpoint: SweepCheckpoint | None = None,
     environment: Environment | None = None,
+    backend: ArrayBackend | str | None = None,
 ) -> dict[int, int | None]:
     """TTR for every relative shift, streamed in worker-parallel tiles.
 
@@ -485,9 +506,17 @@ def ttr_sweep_stream(
     compare, on the TTR clock; its digest joins the checkpoint spec so
     faulted and clean sweeps never cross-resume, and an aperiodic mask
     disables the lcm early-stop.
+
+    ``backend`` selects the array library executing the tile ops
+    (:func:`repro.core.backend.resolve_backend` spec: an instance, a
+    registered name, ``"module:attr"``, or ``None``/``"auto"`` for the
+    default).  Tiles are assembled on the host either way; only the
+    compare/mask/retire ops run on the backend, and every conforming
+    backend returns bit-identical profiles.
     """
     if tile_bytes is not None and tile_bytes <= 0:
         raise ValueError(f"tile_bytes must be positive, got {tile_bytes}")
+    xp = resolve_backend(backend)
     a = _coerce_schedule(a)
     b = _coerce_schedule(b)
     shift_list = [int(s) for s in shifts]
@@ -525,7 +554,7 @@ def ttr_sweep_stream(
                 )
             ttrs[group] = _stream_offsets(
                 var, fixed, unique_pairs[group, column], effective, group_plan,
-                recorder=recorder, gid=gid, environment=environment,
+                recorder=recorder, gid=gid, environment=environment, xp=xp,
             )
         return scatter_ttrs(shift_list, ttrs, inverse)
 
@@ -537,6 +566,7 @@ def ttr_sweep_stream_serial(
     horizon: int,
     tile_bytes: int = DEFAULT_TILE_BYTES,
     environment: Environment | None = None,
+    backend: ArrayBackend | str | None = None,
 ) -> dict[int, int | None]:
     """The single-threaded reference scan of the streaming engine.
 
@@ -548,10 +578,12 @@ def ttr_sweep_stream_serial(
     per cell) and the baseline ``benchmarks/test_stream_sweep.py``
     measures the intra-pair speedup from.  Production callers should
     use :func:`ttr_sweep_stream`.  ``environment`` masks coincidences
-    exactly as on the production path.
+    exactly as on the production path, and ``backend`` selects the
+    array library for the tile ops exactly as there.
     """
     if tile_bytes <= 0:
         raise ValueError(f"tile_bytes must be positive, got {tile_bytes}")
+    xp = resolve_backend(backend)
     a = _coerce_schedule(a)
     b = _coerce_schedule(b)
     shift_list = [int(s) for s in shifts]
@@ -569,13 +601,246 @@ def ttr_sweep_stream_serial(
         negative = unique_pairs[:, 1] != 0
         if (~negative).any():
             ttrs[~negative] = _stream_offsets_serial(
-                a, b, unique_pairs[~negative, 0], effective, tile_bytes, environment
+                a, b, unique_pairs[~negative, 0], effective, tile_bytes,
+                environment, xp,
             )
         if negative.any():
             ttrs[negative] = _stream_offsets_serial(
-                b, a, unique_pairs[negative, 1], effective, tile_bytes, environment
+                b, a, unique_pairs[negative, 1], effective, tile_bytes,
+                environment, xp,
             )
         return scatter_ttrs(shift_list, ttrs, inverse)
+
+
+def ttr_sweep_pairs(
+    jobs: Iterable[tuple[Schedule | np.ndarray, Schedule | np.ndarray, Iterable[int]]],
+    horizon: int | Iterable[int],
+    tile_bytes: int | None = None,
+    workers: int | None = None,
+    plan: TilePlan | None = None,
+    environment: Environment | None = None,
+    backend: ArrayBackend | str | None = None,
+) -> list[dict[int, int | None]]:
+    """Sweep many schedule pairs through one pair-major tile pass.
+
+    ``jobs`` is a sequence of ``(a, b, shifts)`` work items — e.g.
+    every cell of a Table-1 grid — and ``horizon`` one shared horizon
+    or a per-job sequence.  Each job's shifts are reduced to distinct
+    phase-offset pairs exactly as in :func:`ttr_sweep_stream`; the
+    deduped rows of *all* jobs are then stacked into one global
+    ``(pairs × shift-rows, width)`` tile stream: rows sort by (varying
+    schedule, offset) so each tile still gathers near-contiguous
+    chunks, the fixed side is generated once per distinct schedule per
+    time window and broadcast to its rows, and every row retires
+    independently under its own job's effective horizon (lcm
+    early-stop per pair; an aperiodic ``environment`` voids it for
+    all).  One chunk loop therefore amortizes the per-pair dispatch,
+    plan, and fixed-row work that a per-job loop pays ``len(jobs)``
+    times — the pair-major speedup ``benchmarks/test_pair_major.py``
+    gates on.
+
+    Returns one shift→TTR mapping per job, in input order, each
+    bit-identical to ``ttr_sweep_stream(a, b, shifts, horizon)`` for
+    that job (the differential harness certifies this).  Schedules
+    repeated across jobs (same object, e.g. from
+    :meth:`repro.sim.runner.SweepRunner.schedule_for`'s cache or a
+    :class:`~repro.core.store.ScheduleStore` memmap) share their
+    fixed-row windows across all their rows.  ``tile_bytes`` /
+    ``workers`` / ``plan`` tune the tiling exactly as in
+    :func:`ttr_sweep_stream` (blocks of rows fan out over thread
+    lanes); ``backend`` selects the array library for the tile ops.
+    Checkpointing is not supported on the pair-major path — resumable
+    sweeps go through per-pair :func:`ttr_sweep_stream`.
+    """
+    if tile_bytes is not None and tile_bytes <= 0:
+        raise ValueError(f"tile_bytes must be positive, got {tile_bytes}")
+    xp = resolve_backend(backend)
+    job_list = [
+        (_coerce_schedule(a), _coerce_schedule(b), [int(s) for s in shifts])
+        for a, b, shifts in jobs
+    ]
+    if isinstance(horizon, Iterable):
+        horizons = [int(h) for h in horizon]
+        if len(horizons) != len(job_list):
+            raise ValueError(
+                f"got {len(horizons)} horizons for {len(job_list)} jobs"
+            )
+    else:
+        horizons = [int(horizon)] * len(job_list)
+
+    results: list[dict[int, int | None] | None] = [None] * len(job_list)
+    # Per-row columns of the global stacked scan, concatenated job by
+    # job so each job's rows stay one contiguous slice of `result`.
+    scheds: list[Schedule] = []
+    sid_by_obj: dict[int, int] = {}
+    col_var: list[np.ndarray] = []
+    col_fixed: list[np.ndarray] = []
+    col_off: list[np.ndarray] = []
+    col_h: list[np.ndarray] = []
+    spans: list[tuple[int, int, list[int], np.ndarray] | None] = [None] * len(job_list)
+    cursor = 0
+
+    def sid(schedule: Schedule) -> int:
+        key = id(schedule)
+        if key not in sid_by_obj:
+            sid_by_obj[key] = len(scheds)
+            scheds.append(schedule)
+        return sid_by_obj[key]
+
+    with telemetry.span("stream.pair_sweep"):
+        telemetry.count("stream.pair_jobs", len(job_list))
+        for j, ((a, b, shift_list), h) in enumerate(zip(job_list, horizons)):
+            if not shift_list:
+                results[j] = {}
+                continue
+            if h <= 0:
+                results[j] = {s: None for s in shift_list}
+                continue
+            unique_pairs, inverse = reduce_shifts(a, b, shift_list)
+            effective = effective_horizon(
+                h, math.lcm(a.period, b.period), environment
+            )
+            negative = unique_pairs[:, 1] != 0
+            sid_a, sid_b = sid(a), sid(b)
+            n = len(unique_pairs)
+            col_var.append(np.where(negative, sid_b, sid_a))
+            col_fixed.append(np.where(negative, sid_a, sid_b))
+            col_off.append(
+                np.where(negative, unique_pairs[:, 1], unique_pairs[:, 0])
+            )
+            col_h.append(np.full(n, effective, dtype=np.int64))
+            spans[j] = (cursor, cursor + n, shift_list, inverse)
+            cursor += n
+
+        if cursor:
+            g_var = np.concatenate(col_var).astype(np.int64)
+            g_fixed = np.concatenate(col_fixed).astype(np.int64)
+            g_off = np.concatenate(col_off).astype(np.int64)
+            g_h = np.concatenate(col_h)
+            result = np.full(cursor, -1, dtype=np.int64)
+            max_h = int(g_h.max())
+            scan_plan = plan
+            if scan_plan is None:
+                scan_plan = plan_tiles(
+                    cursor, max_h, workers=workers, tile_bytes=tile_bytes
+                )
+            # Sorted by (varying schedule, offset): each tile's rows for
+            # one schedule gather from near-contiguous windows, exactly
+            # the locality the single-pair scan gets from its argsort.
+            order = np.lexsort((g_off, g_var))
+            blocks = [
+                order[lo : lo + scan_plan.block_rows]
+                for lo in range(0, order.size, scan_plan.block_rows)
+            ]
+            fixed_caches = {
+                fid: _FixedRowCache(scheds[fid], scan_plan.cells)
+                for fid in np.unique(g_fixed).tolist()
+            }
+            lanes = min(scan_plan.workers, len(blocks))
+            if lanes > 1:
+                with ThreadPoolExecutor(max_workers=lanes) as pool:
+                    futures = [
+                        pool.submit(
+                            _scan_pair_block, scheds, g_var, g_fixed, g_off,
+                            g_h, block, scan_plan.cells, fixed_caches, result,
+                            environment, xp,
+                        )
+                        for block in blocks
+                    ]
+                    for future in futures:
+                        future.result()
+            else:
+                for block in blocks:
+                    _scan_pair_block(
+                        scheds, g_var, g_fixed, g_off, g_h, block,
+                        scan_plan.cells, fixed_caches, result, environment, xp,
+                    )
+
+        for j, span in enumerate(spans):
+            if span is None:
+                continue
+            start, stop, shift_list, inverse = span
+            results[j] = scatter_ttrs(shift_list, result[start:stop], inverse)
+    return results
+
+
+def _scan_pair_block(
+    scheds: list[Schedule],
+    var_sid: np.ndarray,
+    fixed_sid: np.ndarray,
+    offsets: np.ndarray,
+    horizons: np.ndarray,
+    block: np.ndarray,
+    cells: int,
+    fixed_caches: dict[int, _FixedRowCache],
+    result: np.ndarray,
+    environment: Environment | None,
+    xp: ArrayBackend,
+) -> None:
+    """First-meet scan of one pair-major row block.
+
+    ``block`` holds indices into the global row arrays, sorted by
+    (varying schedule, offset) so each contiguous run of one schedule
+    id feeds :func:`_gather_tile` ascending offsets.  The per-chunk
+    tile stacks every live row: the varying side gathers one run per
+    schedule, the fixed side one cached window per distinct schedule
+    broadcast to its rows.  Rows carry *per-row* horizons — a row past
+    its own effective horizon retires as a miss even while rows of
+    longer-horizon jobs keep scanning, and a horizon mask clips hits in
+    the boundary chunk so a hit beyond a row's horizon never counts.
+    Blocks write disjoint ``result`` rows, so lanes compose race-free.
+    """
+    remaining = block
+    t0 = 0
+    max_h = int(horizons[block].max())
+    length = min(_INITIAL_TIME_BLOCK, max_h, max(1, cells // remaining.size))
+    while t0 < max_h and remaining.size:
+        t1 = min(t0 + length, max_h)
+        width = t1 - t0
+        with telemetry.span("stream.tile_assembly") as tile_span:
+            rows = np.empty((remaining.size, width), dtype=np.int64)
+            sids = var_sid[remaining]
+            bounds = np.flatnonzero(np.diff(sids)) + 1
+            run_edges = np.concatenate(([0], bounds, [sids.size]))
+            for lo, hi in zip(run_edges[:-1], run_edges[1:]):
+                rows[lo:hi] = _gather_tile(
+                    scheds[int(sids[lo])], offsets[remaining[lo:hi]], t0, width
+                )
+            fixed_tile = np.empty_like(rows)
+            fsids = fixed_sid[remaining]
+            for fid in np.unique(fsids).tolist():
+                fixed_tile[fsids == fid] = fixed_caches[fid].row(t0, t1)
+            tile_span.add_bytes(rows.nbytes + fixed_tile.nbytes)
+        with telemetry.span("stream.compare"):
+            eq = xp.equal(xp.from_host(rows), xp.from_host(fixed_tile))
+        if environment is not None:
+            with telemetry.span("stream.mask"):
+                mask = environment.slot_mask(
+                    rows, np.arange(t0, t1, dtype=np.int64)
+                )
+                eq = xp.logical_and(eq, xp.from_host(mask))
+        row_h = horizons[remaining]
+        if int(row_h.min()) < t1:
+            # Boundary chunk for some short-horizon row: clip its cells
+            # beyond the horizon so a later coincidence never counts.
+            with telemetry.span("stream.mask"):
+                hmask = (
+                    np.arange(t0, t1, dtype=np.int64)[np.newaxis, :]
+                    < row_h[:, np.newaxis]
+                )
+                eq = xp.logical_and(eq, xp.from_host(hmask))
+        with telemetry.span("stream.retire"):
+            hit = xp.to_host(xp.any(eq, axis=1))
+            hit_rows = remaining[hit]
+            if hit_rows.size:
+                first = xp.to_host(
+                    xp.argmax(xp.take(eq, np.flatnonzero(hit), axis=0), axis=1)
+                )
+                result[hit_rows] = t0 + first
+            # Rows that reached their own horizon hit-free stay -1.
+            remaining = remaining[~hit & (row_h > t1)]
+        t0 = t1
+        length = min(length * 2, max(1, cells // max(remaining.size, 1)))
 
 
 def reduce_shifts(
@@ -688,6 +953,7 @@ def _scan_block(
     recorder: _CheckpointRecorder | None = None,
     gid: int = 0,
     environment: Environment | None = None,
+    xp: ArrayBackend | None = None,
 ) -> None:
     """First-meet scan of one independent shift block.
 
@@ -701,8 +967,11 @@ def _scan_block(
     ``gid``) receives retirements and frontier advances at every
     time-block boundary.  ``environment`` ANDs its validity mask into
     each tile's compare (channels from the varying side, slots on the
-    TTR clock).
+    TTR clock).  ``xp`` is the array backend executing the tile ops;
+    tiles are assembled host-side and enter it through ``from_host``.
     """
+    if xp is None:
+        xp = resolve_backend(None)
     remaining = block
     t0 = start
     length = min(_INITIAL_TIME_BLOCK, horizon, max(1, cells // remaining.size))
@@ -714,17 +983,23 @@ def _scan_block(
             fixed_row = fixed_rows.row(t0, t1)
             tile_span.add_bytes(rows.nbytes)
         with telemetry.span("stream.compare"):
-            eq = rows == fixed_row[np.newaxis, :]
+            eq = xp.equal(
+                xp.from_host(rows), xp.from_host(fixed_row[np.newaxis, :])
+            )
         if environment is not None:
             with telemetry.span("stream.mask"):
-                eq = eq & environment.slot_mask(
+                mask = environment.slot_mask(
                     rows, np.arange(t0, t1, dtype=np.int64)
                 )
+                eq = xp.logical_and(eq, xp.from_host(mask))
         with telemetry.span("stream.retire"):
-            hit = eq.any(axis=1)
+            hit = xp.to_host(xp.any(eq, axis=1))
             hit_rows = remaining[hit]
-            if hit.any():
-                result[hit_rows] = t0 + eq[hit].argmax(axis=1)
+            if hit_rows.size:
+                first = xp.to_host(
+                    xp.argmax(xp.take(eq, np.flatnonzero(hit), axis=0), axis=1)
+                )
+                result[hit_rows] = t0 + first
                 remaining = remaining[~hit]
         t0 = t1
         if recorder is not None:
@@ -746,6 +1021,7 @@ def _stream_offsets(
     recorder: _CheckpointRecorder | None = None,
     gid: int = 0,
     environment: Environment | None = None,
+    xp: ArrayBackend | None = None,
 ) -> np.ndarray:
     """First-coincidence slot per offset, via the blocked parallel scan.
 
@@ -792,7 +1068,7 @@ def _stream_offsets(
                 pool.submit(
                     _scan_block, var, offsets, block, horizon, plan.cells,
                     fixed_rows, result, int(starts[block].min()), recorder, gid,
-                    environment,
+                    environment, xp,
                 )
                 for block in blocks
             ]
@@ -802,7 +1078,7 @@ def _stream_offsets(
         for block in blocks:
             _scan_block(
                 var, offsets, block, horizon, plan.cells, fixed_rows, result,
-                int(starts[block].min()), recorder, gid, environment,
+                int(starts[block].min()), recorder, gid, environment, xp,
             )
     return result
 
@@ -838,14 +1114,18 @@ def _stream_offsets_serial(
     horizon: int,
     tile_bytes: int,
     environment: Environment | None = None,
+    xp: ArrayBackend | None = None,
 ) -> np.ndarray:
     """The reference scan: one thread, fixed budget, per-row gathers.
 
     ``var`` is the schedule whose phase varies per shift (windows start
     at ``offset``), ``fixed`` the one pinned at phase zero; ``-1``
     marks a miss within ``horizon``.  ``environment`` masks each tile's
-    compare exactly as on the blocked path.
+    compare exactly as on the blocked path, and ``xp`` is the array
+    backend executing the tile ops.
     """
+    if xp is None:
+        xp = resolve_backend(None)
     num = offsets.size
     result = np.full(num, -1, dtype=np.int64)
     cells = max(1, tile_bytes // _BYTES_PER_CELL)
@@ -867,16 +1147,24 @@ def _stream_offsets_serial(
                 fixed_row = fixed_rows.row(t0, t1)
                 tile_span.add_bytes(rows.nbytes)
             with telemetry.span("stream.compare"):
-                eq = rows == fixed_row[np.newaxis, :]
+                eq = xp.equal(
+                    xp.from_host(rows), xp.from_host(fixed_row[np.newaxis, :])
+                )
             if environment is not None:
                 with telemetry.span("stream.mask"):
-                    eq = eq & environment.slot_mask(
+                    mask = environment.slot_mask(
                         rows, np.arange(t0, t1, dtype=np.int64)
                     )
+                    eq = xp.logical_and(eq, xp.from_host(mask))
             with telemetry.span("stream.retire"):
-                hit = eq.any(axis=1)
+                hit = xp.to_host(xp.any(eq, axis=1))
                 if hit.any():
-                    result[remaining[hit]] = t0 + eq[hit].argmax(axis=1)
+                    first = xp.to_host(
+                        xp.argmax(
+                            xp.take(eq, np.flatnonzero(hit), axis=0), axis=1
+                        )
+                    )
+                    result[remaining[hit]] = t0 + first
                     remaining = remaining[~hit]
             t0 = t1
             length = min(length * 2, max(1, cells // max(remaining.size, 1)))

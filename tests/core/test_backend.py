@@ -1,0 +1,230 @@
+"""The array-backend seam: conformance, resolution, and no-bypass proof.
+
+The load-bearing certification here is the :class:`RecordingBackend`
+run: its device arrays are opaque boxes that raise on any raw ``np.*``
+use, so a full streaming scan completing through it *proves* the scan
+routes every tile op through the seam — and returning bit-identical
+profiles proves the seam carries the whole computation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core import backend as backend_mod
+from repro.core.backend import (
+    ArrayBackend,
+    NumpyBackend,
+    RecordingBackend,
+    check_conformance,
+    conformance_checklist,
+    register_backend,
+    resolve_backend,
+)
+from repro.core.stream import (
+    TilePlan,
+    ttr_sweep_pairs,
+    ttr_sweep_stream,
+    ttr_sweep_stream_serial,
+)
+from repro.sim.workloads import random_subsets
+
+
+def _pair(algorithm="jump-stay", seed=5):
+    instance = random_subsets(16, 4, 3, seed=seed)
+    i, j = instance.overlapping_pairs()[0]
+    a = repro.build_schedule(instance.sets[i], instance.n, algorithm=algorithm)
+    b = repro.build_schedule(instance.sets[j], instance.n, algorithm=algorithm)
+    return a, b
+
+
+SHIFTS = list(range(-30, 60)) + [997, -733]
+
+
+class TestResolution:
+    def test_default_and_auto_resolve_to_numpy(self):
+        assert resolve_backend(None).name == "numpy"
+        assert resolve_backend("auto").name == "numpy"
+
+    def test_instances_pass_through(self):
+        instance = RecordingBackend()
+        assert resolve_backend(instance) is instance
+
+    def test_registered_names_resolve(self):
+        assert resolve_backend("numpy").name == "numpy"
+        assert resolve_backend("recording").name == "recording"
+
+    def test_env_var_switches_auto(self, monkeypatch):
+        monkeypatch.setenv(backend_mod.BACKEND_ENV_VAR, "recording")
+        assert resolve_backend("auto").name == "recording"
+        assert resolve_backend(None).name == "recording"
+        # An explicit spec still wins over the environment.
+        assert resolve_backend("numpy").name == "numpy"
+
+    def test_entry_point_spec_imports(self):
+        resolved = resolve_backend("repro.core.backend:NumpyBackend")
+        assert isinstance(resolved, NumpyBackend)
+
+    def test_entry_point_must_be_a_backend(self):
+        with pytest.raises(ValueError, match="not an ArrayBackend"):
+            resolve_backend("repro.core.backend:BACKEND_ENV_VAR")
+
+    def test_unknown_spec_raises_with_registry(self):
+        with pytest.raises(ValueError, match="registered"):
+            resolve_backend("warp-drive")
+
+    def test_register_backend_round_trip(self):
+        class Custom(NumpyBackend):
+            name = "custom-for-test"
+
+        register_backend("custom-for-test", Custom)
+        try:
+            assert resolve_backend("custom-for-test").name == "custom-for-test"
+        finally:
+            backend_mod._BACKENDS.pop("custom-for-test", None)
+
+    def test_register_rejects_bad_names(self):
+        with pytest.raises(ValueError, match="non-empty string"):
+            register_backend("", NumpyBackend)
+
+    def test_abstract_backend_refuses_every_op(self):
+        bare = ArrayBackend()
+        with pytest.raises(NotImplementedError, match="from_host"):
+            bare.from_host(np.zeros(1))
+        with pytest.raises(NotImplementedError, match="argmax"):
+            bare.argmax(None, axis=1)
+
+
+class TestConformance:
+    def test_numpy_backend_conforms(self):
+        check_conformance(NumpyBackend())
+
+    def test_recording_backend_conforms(self):
+        check_conformance(RecordingBackend())
+
+    def test_checklist_rows_are_ordered_and_detailed(self):
+        rows = conformance_checklist(NumpyBackend())
+        names = [name for name, _, _ in rows]
+        assert names[0] == "transfer round-trip"
+        assert "argmax first-of-ties" in names
+        assert names[-1] == "end-to-end sweep parity"
+        assert all(passed for _, passed, _ in rows)
+        assert all(detail for _, _, detail in rows)
+
+    def test_last_tie_argmax_fails_the_checklist(self):
+        # The one semantic a GPU library most plausibly gets wrong:
+        # returning *a* maximum instead of the first corrupts every
+        # first-meet TTR, and the checklist must catch it.
+        class LastTie(NumpyBackend):
+            name = "last-tie"
+
+            def argmax(self, array, axis: int):
+                flipped = np.flip(array, axis=axis)
+                return (
+                    array.shape[axis] - 1 - np.argmax(flipped, axis=axis)
+                )
+
+        rows = dict(
+            (name, passed)
+            for name, passed, _ in conformance_checklist(LastTie())
+        )
+        assert not rows["argmax first-of-ties"]
+        assert not rows["end-to-end sweep parity"]
+        with pytest.raises(AssertionError, match="argmax"):
+            check_conformance(LastTie())
+
+    def test_dtype_breaking_backend_fails_the_checklist(self):
+        class Truncating(NumpyBackend):
+            name = "truncating"
+
+            def to_host(self, array):
+                return np.asarray(array, dtype=np.int32)
+
+        rows = dict(
+            (name, passed)
+            for name, passed, _ in conformance_checklist(Truncating())
+        )
+        assert not rows["transfer round-trip"]
+
+
+class TestNoBypassProof:
+    def test_boxed_arrays_refuse_raw_numpy(self):
+        box = RecordingBackend().from_host(np.arange(4))
+        for use in (
+            lambda: np.asarray(box),
+            lambda: box == 3,
+            lambda: box & box,
+            lambda: ~box,
+            lambda: box + 1,
+            lambda: box[0],
+            lambda: len(box),
+            lambda: bool(box),
+            lambda: list(box),
+        ):
+            with pytest.raises(TypeError, match="seam"):
+                use()
+
+    def test_ops_reject_unboxed_device_arguments(self):
+        recording = RecordingBackend()
+        with pytest.raises(TypeError, match="from_host"):
+            recording.any(np.zeros((2, 2), dtype=bool), axis=1)
+        with pytest.raises(TypeError, match="host array"):
+            recording.from_host(recording.from_host(np.zeros(2)))
+
+    def test_full_stream_scan_never_bypasses_the_seam(self):
+        a, b = _pair()
+        horizon = 4 * max(a.period, b.period)
+        expected = ttr_sweep_stream(a, b, SHIFTS, horizon)
+        recording = RecordingBackend()
+        got = ttr_sweep_stream(a, b, SHIFTS, horizon, backend=recording)
+        assert got == expected
+        assert set(recording.ops) >= {
+            "from_host", "to_host", "equal", "any", "argmax", "take"
+        }
+
+    def test_serial_scan_never_bypasses_the_seam(self):
+        a, b = _pair()
+        horizon = 4 * max(a.period, b.period)
+        expected = ttr_sweep_stream_serial(a, b, SHIFTS, horizon)
+        got = ttr_sweep_stream_serial(
+            a, b, SHIFTS, horizon, backend=RecordingBackend()
+        )
+        assert got == expected
+
+    def test_masked_scan_routes_the_mask_through_the_seam(self):
+        from repro.core.environment import parse_environment
+
+        a, b = _pair()
+        env = parse_environment("fading:p=0.1,seed=3")
+        expected = ttr_sweep_stream(a, b, SHIFTS, 5000, environment=env)
+        recording = RecordingBackend()
+        got = ttr_sweep_stream(
+            a, b, SHIFTS, 5000, environment=env, backend=recording
+        )
+        assert got == expected
+        assert "logical_and" in recording.ops
+
+    def test_pair_major_scan_never_bypasses_the_seam(self):
+        a, b = _pair()
+        c, _ = _pair(algorithm="crseq", seed=7)
+        horizon = 4 * max(a.period, b.period, c.period)
+        expected = [
+            ttr_sweep_stream(a, b, SHIFTS, horizon),
+            ttr_sweep_stream(a, c, SHIFTS, horizon),
+        ]
+        got = ttr_sweep_pairs(
+            [(a, b, SHIFTS), (a, c, SHIFTS)], horizon,
+            backend=RecordingBackend(),
+        )
+        assert got == expected
+
+    def test_thread_lanes_share_one_backend_instance(self):
+        a, b = _pair()
+        horizon = 4 * max(a.period, b.period)
+        plan = TilePlan(tile_bytes=1 << 14, block_rows=4, workers=4)
+        got = ttr_sweep_stream(
+            a, b, SHIFTS, horizon, plan=plan, backend=RecordingBackend()
+        )
+        assert got == ttr_sweep_stream(a, b, SHIFTS, horizon)

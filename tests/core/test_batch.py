@@ -225,3 +225,142 @@ class TestAutoDispatchShape:
         assert not cold.has_warm_table()
         cold.period_table()
         assert cold.has_warm_table()
+
+
+class TestChooseEngine:
+    """choose_engine pins every auto-dispatch regime as a pure decision:
+    the warmth-aware refinement only weighs the *cold* side, so a warm
+    huge table next to a cold small one stays on the batched path."""
+
+    def _cold_pair(self):
+        instance = single_overlap(16, 3, 3, seed=2)
+        a = repro.build_schedule(instance.sets[0], 16, algorithm="jump-stay")
+        b = repro.build_schedule(instance.sets[1], 16, algorithm="jump-stay")
+        return a, b
+
+    def test_checkpoint_forces_stream(self):
+        a, b = self._cold_pair()
+        assert batch.choose_engine(a, b, 10, checkpoint=True) == "stream"
+
+    def test_non_numpy_backend_forces_stream(self):
+        a, b = self._cold_pair()
+        a.period_table(), b.period_table()
+        assert batch.choose_engine(a, b, 10, backend="recording") == "stream"
+        assert batch.choose_engine(a, b, 10, backend="numpy") != "stream"
+
+    def test_tiny_joint_period_goes_scalar(self):
+        assert (
+            batch.choose_engine(CyclicSchedule([1, 2]), CyclicSchedule([2, 1]), 4)
+            == "scalar"
+        )
+
+    def test_huge_period_goes_stream(self):
+        big = FunctionSchedule(
+            lambda t: t % 7, period=batch.BATCH_TABLE_LIMIT + 1
+        )
+        assert batch.choose_engine(big, CyclicSchedule([1, 2, 3]), 10) == "stream"
+
+    def test_cold_strided_goes_stream(self):
+        a, b = self._cold_pair()
+        num = max(a.period, b.period) // batch.STRIDED_DISPATCH_FACTOR
+        assert batch.choose_engine(a, b, num) == "stream"
+
+    def test_exhaustive_goes_batched(self):
+        a, b = self._cold_pair()
+        assert batch.choose_engine(a, b, max(a.period, b.period)) == "batched"
+
+    def test_both_warm_goes_batched(self):
+        a, b = self._cold_pair()
+        a.period_table(), b.period_table()
+        num = max(a.period, b.period) // batch.STRIDED_DISPATCH_FACTOR
+        assert batch.choose_engine(a, b, num) == "batched"
+
+    def test_warm_big_cold_small_weighs_only_the_cold_side(self):
+        # The PR-5 carry-over regime: the big table is warm (its reuse
+        # is free) and the small side's build is cheap relative to the
+        # sweep, so the batched path wins — the old both-or-nothing
+        # probe streamed here and re-paid the small build's dispatch.
+        a, b = self._cold_pair()
+        big, small = (a, b) if a.period >= b.period else (b, a)
+        big.period_table()
+        num = max(
+            1, small.period // batch.STRIDED_DISPATCH_FACTOR + 1
+        )  # not strided vs the cold side
+        assert num * batch.STRIDED_DISPATCH_FACTOR > small.period
+        assert batch.choose_engine(big, small, num) == "batched"
+
+    def test_warm_big_cold_small_still_streams_when_strided_vs_cold(self):
+        a, b = self._cold_pair()
+        big, small = (a, b) if a.period >= b.period else (b, a)
+        big.period_table()
+        num = small.period // batch.STRIDED_DISPATCH_FACTOR
+        if num < 1:
+            pytest.skip("small side too small to express a strided sweep")
+        assert batch.choose_engine(big, small, num) == "stream"
+
+    def test_ttr_sweep_auto_follows_choose_engine(self, monkeypatch):
+        a, b = self._cold_pair()
+        big, small = (a, b) if a.period >= b.period else (b, a)
+        big.period_table()
+        calls = []
+        real = batch._stream.ttr_sweep_stream
+
+        def spy(*args, **kwargs):
+            calls.append(1)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(batch._stream, "ttr_sweep_stream", spy)
+        shifts = list(range(small.period // batch.STRIDED_DISPATCH_FACTOR + 1))
+        batch.ttr_sweep(big, small, shifts, 4 * big.period)
+        assert not calls, "warm-big/cold-small unstride sweep must batch"
+
+
+class TestTtrSweepPairsDispatcher:
+    """batch.ttr_sweep_pairs: one pair-major pass, per-job parity."""
+
+    def _jobs(self):
+        instance = random_subsets(16, 4, 3, seed=9)
+        scheds = [
+            repro.build_schedule(s, instance.n, algorithm="crseq")
+            for s in instance.sets
+        ]
+        shifts = list(range(-20, 40))
+        return [
+            (scheds[i], scheds[j], shifts)
+            for i, j in instance.overlapping_pairs()
+        ]
+
+    def test_matches_per_job_ttr_sweep(self):
+        jobs = self._jobs()
+        horizon = 4 * max(max(a.period, b.period) for a, b, _ in jobs)
+        stacked = batch.ttr_sweep_pairs(jobs, horizon)
+        for (a, b, shifts), got in zip(jobs, stacked):
+            assert got == batch.ttr_sweep(a, b, shifts, horizon)
+
+    def test_per_job_horizons(self):
+        jobs = self._jobs()
+        horizons = [200 + 100 * i for i in range(len(jobs))]
+        stacked = batch.ttr_sweep_pairs(jobs, horizons)
+        for (a, b, shifts), h, got in zip(jobs, horizons, stacked):
+            assert got == batch.ttr_sweep(a, b, shifts, h)
+
+    def test_reference_engines_loop_per_job(self):
+        jobs = self._jobs()[:2]
+        horizon = 4 * max(max(a.period, b.period) for a, b, _ in jobs)
+        for engine in ("batched", "scalar"):
+            looped = batch.ttr_sweep_pairs(jobs, horizon, engine=engine)
+            assert looped == batch.ttr_sweep_pairs(jobs, horizon)
+
+    def test_horizon_count_mismatch_raises(self):
+        jobs = self._jobs()[:2]
+        with pytest.raises(ValueError, match="horizons for"):
+            batch.ttr_sweep_pairs(jobs, [100])
+
+    def test_bad_engine_and_backend_combinations_raise(self):
+        jobs = self._jobs()[:1]
+        with pytest.raises(ValueError, match="unknown engine"):
+            batch.ttr_sweep_pairs(jobs, 100, engine="warp")
+        with pytest.raises(ValueError, match="streaming engine"):
+            batch.ttr_sweep_pairs(jobs, 100, engine="batched", backend="recording")
+        with pytest.raises(ValueError, match="streaming engine"):
+            batch.ttr_sweep(*jobs[0], 100, engine="scalar", backend="recording")

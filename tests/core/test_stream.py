@@ -484,3 +484,137 @@ class TestCheckpointResume:
         sink.clear()
         assert sink.load() is None
         sink.clear()  # idempotent
+
+
+class TestPairMajor:
+    """ttr_sweep_pairs: one stacked tile pass, per-pair bit-parity."""
+
+    def _grid(self, algorithm="crseq", seed=9):
+        instance = random_subsets(16, 4, 3, seed=seed)
+        scheds = [
+            repro.build_schedule(s, instance.n, algorithm=algorithm)
+            for s in instance.sets
+        ]
+        jobs = [
+            (scheds[i], scheds[j], SHIFTS)
+            for i, j in instance.overlapping_pairs()
+        ]
+        horizon = 4 * max(max(a.period, b.period) for a, b, _ in jobs)
+        return jobs, horizon
+
+    @pytest.mark.parametrize("kind", sorted(WORKLOADS))
+    def test_parity_across_workloads(self, kind):
+        instance = WORKLOADS[kind]()
+        scheds = [
+            repro.build_schedule(s, instance.n, algorithm="paper")
+            for s in instance.sets
+        ]
+        jobs = [
+            (scheds[i], scheds[j], SHIFTS)
+            for i, j in instance.overlapping_pairs()[:3]
+        ]
+        assert jobs, f"workload {kind} produced no overlapping pairs"
+        horizon = 4 * max(max(a.period, b.period) for a, b, _ in jobs)
+        stacked = stream_module.ttr_sweep_pairs(jobs, horizon)
+        for (a, b, shifts), got in zip(jobs, stacked):
+            assert got == ttr_sweep_stream(a, b, shifts, horizon)
+
+    def test_mixed_algorithms_in_one_pass(self):
+        jobs_a, _ = self._grid("crseq")
+        jobs_b, _ = self._grid("jump-stay", seed=11)
+        jobs = jobs_a + jobs_b
+        horizon = 4 * max(max(a.period, b.period) for a, b, _ in jobs)
+        stacked = stream_module.ttr_sweep_pairs(jobs, horizon)
+        for (a, b, shifts), got in zip(jobs, stacked):
+            assert got == ttr_sweep_stream(a, b, shifts, horizon)
+
+    def test_per_job_horizons_and_misses(self):
+        # Short-horizon jobs must retire as misses at *their* horizon
+        # even while longer jobs keep scanning in the same tiles.
+        jobs, horizon = self._grid("jump-stay", seed=3)
+        horizons = [40 + 30 * i for i in range(len(jobs))]
+        stacked = stream_module.ttr_sweep_pairs(jobs, horizons)
+        for (a, b, shifts), h, got in zip(jobs, horizons, stacked):
+            assert got == ttr_sweep_stream(a, b, shifts, h)
+        assert any(
+            v is None for profile in stacked for v in profile.values()
+        ), "horizon ladder too generous to exercise per-row misses"
+
+    def test_environment_masked_pass(self):
+        from repro.core.environment import parse_environment
+
+        jobs, _ = self._grid("paper")
+        env = parse_environment("pu-churn:rate=0.05,seed=7")
+        stacked = stream_module.ttr_sweep_pairs(jobs, 3000, environment=env)
+        for (a, b, shifts), got in zip(jobs, stacked):
+            assert got == ttr_sweep_stream(a, b, shifts, 3000, environment=env)
+
+    def test_degenerate_plans_and_lanes_are_invariant(self):
+        jobs, horizon = self._grid()
+        expected = stream_module.ttr_sweep_pairs(jobs, horizon)
+        for plan in (
+            TilePlan(tile_bytes=1 << 14, block_rows=1, workers=1),
+            TilePlan(tile_bytes=1 << 14, block_rows=3, workers=4),
+            TilePlan(tile_bytes=1 << 22, block_rows=1024, workers=2),
+        ):
+            assert (
+                stream_module.ttr_sweep_pairs(jobs, horizon, plan=plan)
+                == expected
+            )
+
+    def test_shared_schedules_dedupe_fixed_rows(self):
+        # The same schedule object on the fixed side of many jobs
+        # shares one row cache; parity is the observable contract.
+        instance = single_overlap(16, 3, 3, seed=2)
+        hub = repro.build_schedule(instance.sets[0], 16, algorithm="crseq")
+        others = [
+            repro.build_schedule(s, 16, algorithm="crseq")
+            for s in instance.sets[1:]
+        ]
+        jobs = [(other, hub, SHIFTS) for other in others]
+        horizon = 4 * max(hub.period, *(o.period for o in others))
+        stacked = stream_module.ttr_sweep_pairs(jobs, horizon)
+        for (a, b, shifts), got in zip(jobs, stacked):
+            assert got == ttr_sweep_stream(a, b, shifts, horizon)
+
+    def test_raw_arrays_accepted(self):
+        jobs, horizon = self._grid()
+        a, b, shifts = jobs[0]
+        raw = stream_module.ttr_sweep_pairs(
+            [(np.asarray(a.period_table()), np.asarray(b.period_table()), shifts)],
+            horizon,
+        )
+        assert raw[0] == ttr_sweep_stream(a, b, shifts, horizon)
+
+    def test_empty_and_degenerate_jobs(self):
+        jobs, horizon = self._grid()
+        a, b, shifts = jobs[0]
+        assert stream_module.ttr_sweep_pairs([], horizon) == []
+        mixed = stream_module.ttr_sweep_pairs(
+            [(a, b, []), (a, b, shifts)], horizon
+        )
+        assert mixed[0] == {}
+        assert mixed[1] == ttr_sweep_stream(a, b, shifts, horizon)
+        zero = stream_module.ttr_sweep_pairs([(a, b, shifts)], 0)
+        assert zero[0] == {s: None for s in shifts}
+
+    def test_tile_bytes_validation(self):
+        jobs, horizon = self._grid()
+        with pytest.raises(ValueError, match="tile_bytes"):
+            stream_module.ttr_sweep_pairs(jobs, horizon, tile_bytes=0)
+
+    def test_pair_sweep_telemetry_spans(self):
+        from repro.core import telemetry
+
+        jobs, horizon = self._grid()
+        telemetry.enable()
+        telemetry.reset()
+        try:
+            stream_module.ttr_sweep_pairs(jobs, horizon)
+            snap = telemetry.snapshot()
+        finally:
+            telemetry.disable()
+        assert "stream.pair_sweep" in snap["spans"]
+        assert snap["counters"]["stream.pair_jobs"] == len(jobs)
+        flat = str(snap)
+        assert "stream.tile_assembly" in flat and "stream.retire" in flat

@@ -67,6 +67,11 @@ class TestDocsExist:
             "bit-identical",
             "Extension recipe",
             "Deviations from the paper",
+            "array-backend seam",
+            "pair-major stacking",
+            "ttr_sweep_pairs",
+            "RecordingBackend",
+            "REPRO_BACKEND",
         ):
             assert required in text, f"docs/ARCHITECTURE.md is missing {required!r}"
 
@@ -89,6 +94,12 @@ class TestDocsExist:
             "summarize_discovery",
             "Workloads",
             "Theorem 3",
+            "Array backends",
+            "ttr_sweep_pairs",
+            "choose_engine",
+            "conformance_checklist",
+            "resolve_backend",
+            "pair_major",
         ):
             assert required in text, f"docs/API.md is missing {required!r}"
 
@@ -109,6 +120,11 @@ class TestDocsExist:
             "bit-identical",
             "Worked invocations",
             "BENCHMARKS.md",
+            "Pair-major stacking",
+            "pair-major",
+            "BENCH_pair_major.json",
+            "--backend",
+            "REPRO_BACKEND",
         ):
             assert required in text, f"docs/TUNING.md is missing {required!r}"
 
@@ -129,6 +145,8 @@ class TestDocsExist:
             "Netsim spans are flat",
             "test_telemetry_overhead",
             "TUNING.md",
+            "stream.pair_sweep",
+            "stream.pair_jobs",
         ):
             assert required in text, f"docs/OBSERVABILITY.md is missing {required!r}"
 
